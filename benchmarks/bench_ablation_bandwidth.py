@@ -1,0 +1,14 @@
+"""Ablation — bandwidth crossover of DGS vs ASGD throughput."""
+
+from repro.harness.experiments import ablation_bandwidth
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_bandwidth(run_experiment):
+    report = run_experiment(ablation_bandwidth, "ablation_bandwidth")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    advantages = [float(r[3].rstrip("x")) for r in report.rows]
+    # Advantage decays (weakly) with bandwidth and is large at the low end.
+    assert advantages[0] > 3.0
+    assert advantages[-1] < advantages[0] / 2

@@ -1,0 +1,17 @@
+"""§6 — combinations of DGS with other compression approaches."""
+
+from repro.harness.experiments import ablation_combination
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_combination(run_experiment):
+    report = run_experiment(ablation_combination, "ablation_combination")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    rows = {r[0]: r for r in report.rows}
+    up = lambda name: float(rows[name][2].rstrip("x"))
+    # The ternary-value combination compresses uploads harder than plain DGS.
+    assert up("dgs_terngrad") > up("dgs")
+    acc = lambda name: float(rows[name][1].rstrip("%"))
+    # And still trains (within a few points of DGS on the micro workload).
+    assert acc("dgs_terngrad") > acc("dgs") - 6.0

@@ -1,0 +1,14 @@
+"""§5.4 ablation — DGS momentum sweep at high worker count."""
+
+from repro.harness.experiments import ablation_momentum
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_momentum(run_experiment):
+    report = run_experiment(ablation_momentum, "ablation_momentum", seeds=(0,))
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    accs = {float(r[0]): float(r[1].split("%")[0]) for r in report.rows}
+    # Shape (paper §5.4): lower momentum beats 0.7 at high worker counts.
+    best_low = max(v for m, v in accs.items() if m <= 0.45)
+    assert best_low >= accs[0.7] - 0.5

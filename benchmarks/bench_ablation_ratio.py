@@ -1,0 +1,17 @@
+"""Ablation — sparsity ratio sweep for DGS."""
+
+from repro.harness.experiments import ablation_ratio
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_ratio(run_experiment):
+    report = run_experiment(ablation_ratio, "ablation_ratio")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    ratios = [float(r[0].rstrip("%")) / 100 for r in report.rows]
+    ups = [float(r[2].rstrip("x")) for r in report.rows]
+    # Upload compression grows as R shrinks.
+    assert ups == sorted(ups, reverse=True)
+    accs = [float(r[1].rstrip("%")) for r in report.rows]
+    # All operating points still train (≥ 70% on the micro workload).
+    assert min(accs) > 70.0

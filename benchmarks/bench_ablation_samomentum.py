@@ -1,0 +1,16 @@
+"""§5.7 — decomposition: dual-way sparsification vs SAMomentum contributions."""
+
+from repro.harness.experiments import ablation_samomentum
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_samomentum(run_experiment):
+    report = run_experiment(ablation_samomentum, "ablation_samomentum", seeds=(0, 1))
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    accs = {r[0]: r[1] for r in report.rows[:4]}
+    dgs = float(accs["DGS"].split("%")[0])
+    gd = float(accs["GD-async"].split("%")[0])
+    # Shape (paper §5.7): SAMomentum is the dominant contribution —
+    # DGS (= GD-async + SAMomentum) beats GD-async.
+    assert dgs > gd - 0.25

@@ -1,0 +1,16 @@
+"""Ablation — secondary compression (Algorithm 2, lines 5–11)."""
+
+from repro.harness.experiments import ablation_secondary
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_secondary(run_experiment):
+    report = run_experiment(ablation_secondary, "ablation_secondary")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    rows = {r[0]: r for r in report.rows}
+    off, on = rows["off"], rows["on (99%)"]
+    # Downstream volume drops by a large factor...
+    assert float(on[2]) < 0.5 * float(off[2])
+    # ...at a small accuracy cost (≤3 pts on the micro workload).
+    assert float(on[1].rstrip("%")) > float(off[1].rstrip("%")) - 3.0

@@ -1,0 +1,17 @@
+"""Extension — gap-aware staleness damping (paper ref. [4])."""
+
+from repro.harness.experiments import ablation_staleness
+from repro.harness.config import is_fast_mode
+
+
+def test_ablation_staleness(run_experiment):
+    report = run_experiment(ablation_staleness, "ablation_staleness")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    rows = {(r[0], r[1]): r for r in report.rows}
+    acc = lambda m, d: float(rows[(m, d)][2].rstrip("%"))
+    # Undamped DGS (SAMomentum is its staleness answer) dominates; damping
+    # still trains but pays ~1/(staleness+1) in effective LR at fixed budget.
+    assert acc("DGS", "off") > 85.0
+    assert acc("ASGD", "on") > 70.0
+    assert acc("DGS", "off") > acc("DGS", "on")

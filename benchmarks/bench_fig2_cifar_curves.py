@@ -1,0 +1,14 @@
+"""Figure 2 — learning curves on synthetic CIFAR-10, 4 workers."""
+
+from repro.harness.experiments import fig2_cifar_curves
+from repro.harness.config import is_fast_mode
+
+
+def test_fig2_cifar_curves(run_experiment):
+    report = run_experiment(fig2_cifar_curves, "fig2_cifar_curves")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    assert len(report.figures) == 2  # accuracy + loss panels
+    finals = {row[0]: float(row[1].rstrip("%")) for row in report.rows}
+    # Shape: DGS within ~2 points of MSGD (paper: within 0.2).
+    assert finals["DGS"] >= finals["MSGD"] - 2.5

@@ -1,0 +1,13 @@
+"""Figure 3 — learning curves on synthetic ImageNet, 4 workers."""
+
+from repro.harness.experiments import fig3_imagenet_curves
+from repro.harness.config import is_fast_mode
+
+
+def test_fig3_imagenet_curves(run_experiment):
+    report = run_experiment(fig3_imagenet_curves, "fig3_imagenet_curves")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    assert len(report.figures) == 2
+    finals = {row[0]: float(row[1].rstrip("%")) for row in report.rows}
+    assert finals["DGS"] >= finals["ASGD"] - 1.0  # paper: DGS +2.3 pts over ASGD

@@ -1,0 +1,16 @@
+"""Table 2 — final top-1 accuracy, 5 methods × 2 datasets, 4 workers."""
+
+from repro.harness.experiments import table2_accuracy
+from repro.harness.config import is_fast_mode
+
+
+def test_table2_accuracy(run_experiment):
+    report = run_experiment(table2_accuracy, "table2_accuracy", seeds=(0, 1))
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    accs = {row[1]: float(row[3].split("%")[0]) for row in report.rows if row[0] == "Cifar10"}
+    # Shape check (paper Table 2): MSGD best, DGS within ~2 pts of it and
+    # ahead of GD-async/ASGD.
+    assert accs["MSGD"] >= accs["DGS"] - 1.0
+    assert accs["DGS"] > accs["ASGD"] - 0.5
+    assert accs["DGS"] > accs["GD-async"] - 0.5

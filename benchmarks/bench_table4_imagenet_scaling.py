@@ -1,0 +1,23 @@
+"""Table 4 — ImageNet stand-in, 4 and 16 workers."""
+
+from repro.harness.experiments import table4_imagenet_scaling
+from repro.harness.config import is_fast_mode
+
+
+def test_table4_imagenet_scaling(run_experiment):
+    report = run_experiment(table4_imagenet_scaling, "table4_imagenet", seeds=(0,))
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+
+    def acc(workers, method):
+        for row in report.rows:
+            if row[0] == workers and row[1] == method:
+                return float(row[2].rstrip("%"))
+        raise KeyError((workers, method))
+
+    # Shape (paper Table 4): DGS ahead of ASGD at 4 workers.  At 16 workers
+    # the micro-scale methods compress into a ~1-pt band (documented
+    # deviation, EXPERIMENTS.md), so the bound is looser there.
+    assert acc(4, "DGS") > acc(4, "ASGD") - 0.5
+    for n in sorted({r[0] for r in report.rows if r[1] != "MSGD"}):
+        assert acc(n, "DGS") > acc(n, "ASGD") - 2.5

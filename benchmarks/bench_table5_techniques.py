@@ -1,0 +1,15 @@
+"""Table 5 — techniques matrix (generated from the live method registry)."""
+
+from repro.harness.experiments import table5_techniques
+from repro.harness.config import is_fast_mode
+
+
+def test_table5_techniques(run_experiment):
+    report = run_experiment(table5_techniques, "table5_techniques")
+    if is_fast_mode():
+        return  # smoke pass: shape assertions hold at full scale only
+    rows = {r[0]: r for r in report.rows}
+    assert rows["DGS"][2] == "SAMomentum"
+    assert rows["DGS"][3] == "N" and rows["DGS"][4] == "N"
+    assert rows["DGC-async"][3] == "Y" and rows["DGC-async"][4] == "Y"
+    assert rows["ASGD"][1] == "N"

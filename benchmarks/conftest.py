@@ -1,0 +1,40 @@
+"""Benchmark harness plumbing.
+
+Every bench:
+ * regenerates one paper table/figure via its ``repro.harness.experiments``
+   runner (timed once with ``benchmark.pedantic`` — these are end-to-end
+   training campaigns, not micro-benchmarks);
+ * prints the rendered table/figure to the real terminal (so
+   ``pytest benchmarks/ --benchmark-only | tee ...`` records it);
+ * writes the markdown rendering to ``benchmarks/results/<id>.md`` for
+   EXPERIMENTS.md.
+
+Set ``REPRO_SCALE=fast`` for a ~2-minute smoke pass; the default full pass
+takes ~15–25 minutes single-core.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run one experiment module once, print + persist its report."""
+
+    def runner(module, slug: str, **kwargs):
+        report = benchmark.pedantic(module.run, kwargs=kwargs, rounds=1, iterations=1)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{slug}.md").write_text(report.markdown() + "\n")
+        (RESULTS_DIR / f"{slug}.txt").write_text(report.render() + "\n")
+        for name, svg in report.svgs.items():
+            (RESULTS_DIR / f"{slug}_{name}.svg").write_text(svg)
+        with capsys.disabled():
+            print("\n" + report.render() + "\n")
+        return report
+
+    return runner

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Future-work combination (§6): DGS + TernGrad and other compressors.
+
+The paper's conclusion proposes combining DGS with TernGrad or random
+coordinate dropping.  ``repro.core.extensions`` implements those methods;
+this example compares them against plain DGS and ASGD on accuracy and bytes
+on the wire.
+
+Usage:  python examples/combined_compression.py [--fast]
+"""
+
+import argparse
+
+from repro.harness import get_workload, run_distributed
+from repro.metrics import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true")
+    args = parser.parse_args()
+
+    workload = get_workload("cifar10")
+    methods = ("asgd", "dgs", "dgs_terngrad", "terngrad", "qsgd", "random_dropping")
+
+    rows = []
+    for method in methods:
+        r = run_distributed(method, workload, 4, gbps=10.0, fast=args.fast, seed=0)
+        rows.append((
+            method,
+            f"{100 * r.final_accuracy:.2f}%",
+            f"{r.upload_bytes / 1e6:.2f} MB",
+            f"{r.upload_dense_bytes / max(r.upload_bytes, 1):.0f}x",
+        ))
+
+    print(format_table(
+        ("method", "top-1 acc", "upload volume", "upload compression"),
+        rows,
+        title="DGS combined with other compressors (4 workers, synthetic CIFAR-10)",
+    ))
+    print(
+        "\ndgs_terngrad keeps DGS's Top-k selection but ships 2-bit values —\n"
+        "~13x smaller values per coordinate at a small accuracy cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

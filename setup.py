@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the offline
+environment lacks the ``wheel`` package needed for PEP-517 editables."""
+from setuptools import setup
+
+setup()

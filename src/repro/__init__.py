@@ -1,0 +1,30 @@
+"""repro — reproduction of "Dual-Way Gradient Sparsification for
+Asynchronous Distributed Deep Learning" (Yan et al., ICPP 2020).
+
+Public surface:
+
+* ``repro.core`` — DGS: SAMomentum, model-difference tracking, baselines
+* ``repro.ps`` / ``repro.sim`` — parameter-server substrates (threads / virtual clock)
+* ``repro.autograd`` / ``repro.nn`` — the from-scratch training substrate
+* ``repro.compression`` — sparsifiers, quantiser, wire coding
+* ``repro.data`` / ``repro.optim`` / ``repro.metrics`` — supporting pieces
+* ``repro.harness`` — ready-made experiment runners for every table/figure
+"""
+
+from . import autograd, compression, core, data, harness, metrics, nn, optim, ps, sim
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autograd",
+    "nn",
+    "data",
+    "optim",
+    "compression",
+    "core",
+    "ps",
+    "sim",
+    "metrics",
+    "harness",
+    "__version__",
+]

@@ -1,0 +1,76 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro list                      # show available experiments
+    python -m repro run table2 [--fast]       # regenerate Table 2
+    python -m repro run fig6 --out report.md  # save markdown
+    python -m repro run all --fast            # everything (smoke scale)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import experiments as E
+
+EXPERIMENTS = {
+    "table2": (E.table2_accuracy, "Table 2 — accuracy, 5 methods × 2 datasets"),
+    "table3": (E.table3_scaling, "Table 3 — CIFAR-10 scaling 1→32 workers"),
+    "table4": (E.table4_imagenet_scaling, "Table 4 — ImageNet 4/16 workers"),
+    "table5": (E.table5_techniques, "Table 5 — techniques matrix"),
+    "fig2": (E.fig2_cifar_curves, "Figure 2 — CIFAR-10 learning curves"),
+    "fig3": (E.fig3_imagenet_curves, "Figure 3 — ImageNet learning curves"),
+    "fig4": (E.fig4_imagenet16_curves, "Figure 4 — ImageNet 16-worker curves"),
+    "fig5": (E.fig5_low_bandwidth, "Figure 5 — loss vs wall-clock at 1 Gbps"),
+    "fig6": (E.fig6_speedup, "Figure 6 — speedup vs workers"),
+    "memory": (E.memory_usage, "§5.6.2 — memory accounting"),
+    "ablation-momentum": (E.ablation_momentum, "§5.4 — momentum sweep"),
+    "ablation-secondary": (E.ablation_secondary, "secondary compression on/off"),
+    "ablation-ratio": (E.ablation_ratio, "sparsity ratio sweep"),
+    "ablation-samomentum": (E.ablation_samomentum, "§5.7 — technique decomposition"),
+    "ablation-combination": (E.ablation_combination, "§6 — DGS + other compressors"),
+    "ablation-sync-async": (E.ablation_sync_async, "§1/§6 — SSGD barrier vs async"),
+    "ablation-staleness": (E.ablation_staleness, "gap-aware damping (paper ref. [4])"),
+    "ablation-bandwidth": (E.ablation_bandwidth, "bandwidth crossover of the DGS advantage"),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run_p.add_argument("--fast", action="store_true", help="quarter-scale smoke run")
+    run_p.add_argument("--out", help="also write the markdown report to this file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:22s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reports = []
+    for name in names:
+        module, desc = EXPERIMENTS[name]
+        print(f"== {desc} ==", file=sys.stderr)
+        t0 = time.perf_counter()
+        report = module.run(fast=args.fast)
+        elapsed = time.perf_counter() - t0
+        print(report.render())
+        print(f"[{name}: {elapsed:.1f}s]\n", file=sys.stderr)
+        reports.append(report)
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(r.markdown() for r in reports) + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Reverse-mode autodiff substrate (NumPy-backed)."""
+
+from .gradcheck import gradcheck, numerical_gradient
+from .ops import avg_pool2d, conv2d, global_avg_pool2d, im2col, col2im, max_pool2d
+from .tensor import Tensor, no_grad, is_grad_enabled
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "gradcheck",
+    "numerical_gradient",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "im2col",
+    "col2im",
+]

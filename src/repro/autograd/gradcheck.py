@@ -1,0 +1,63 @@
+"""Numerical gradient checking for the autograd engine."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. ``inputs[wrt]``."""
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = float(fn(*inputs).data.sum())
+        flat[i] = orig - eps
+        lo = float(fn(*inputs).data.sum())
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    eps: float = 1e-6,
+) -> bool:
+    """Compare analytic and numerical gradients for every differentiable input.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    ``True`` on success (so it can be used directly in assertions).
+    """
+    for t in inputs:
+        t.zero_grad()
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    for i, t in enumerate(inputs):
+        if not t.requires_grad:
+            continue
+        num = numerical_gradient(fn, inputs, i, eps=eps)
+        ana = t.grad if t.grad is not None else np.zeros_like(t.data)
+        if not np.allclose(ana, num, atol=atol, rtol=rtol):
+            worst = np.abs(ana - num).max()
+            raise AssertionError(
+                f"gradcheck failed for input {i}: max abs err {worst:.3e}\n"
+                f"analytic:\n{ana}\nnumerical:\n{num}"
+            )
+    return True

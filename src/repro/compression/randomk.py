@@ -1,0 +1,50 @@
+"""Random coordinate dropping (Wangni et al. 2018).
+
+Listed in the paper's future work (§6) as a compression approach DGS could
+be combined with; provided here as an alternative selector for the
+combination ablation bench.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Sparsifier
+
+__all__ = ["RandomKSparsifier"]
+
+
+class RandomKSparsifier(Sparsifier):
+    """Keep a uniformly random ⌈ratio·n⌉ subset, unbiased via 1/ratio scaling.
+
+    With ``rescale=True`` the kept entries are amplified so the sparsified
+    vector is an unbiased estimator of the original (the Wangni et al.
+    construction).
+    """
+
+    def __init__(self, ratio: float, seed: int = 0, rescale: bool = False) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        self.ratio = ratio
+        self.rescale = rescale
+        self._rng = np.random.default_rng(seed)
+
+    def mask(self, arr: np.ndarray) -> np.ndarray:
+        n = arr.size
+        k = max(1, min(n, math.ceil(n * self.ratio)))
+        idx = self._rng.choice(n, size=k, replace=False)
+        mask = np.zeros(n, dtype=bool)
+        mask[idx] = True
+        return mask.reshape(arr.shape)
+
+    def split(self, arr: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        m = self.mask(arr)
+        scale = 1.0 / self.ratio if self.rescale else 1.0
+        sent = np.where(m, arr * scale, 0.0)
+        kept = np.where(m, 0.0, arr)
+        return m, sent, kept
+
+    def __repr__(self) -> str:
+        return f"RandomKSparsifier(ratio={self.ratio}, rescale={self.rescale})"

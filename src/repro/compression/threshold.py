@@ -1,0 +1,28 @@
+"""Fixed-threshold sparsification (Strom 2015), kept as a baseline selector.
+
+The paper notes "it is hard to determine an appropriate threshold for a
+neural network in practice" — this class exists so that claim is testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Sparsifier
+
+__all__ = ["ThresholdSparsifier"]
+
+
+class ThresholdSparsifier(Sparsifier):
+    """Send entries whose magnitude exceeds a fixed absolute threshold."""
+
+    def __init__(self, threshold: float) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = threshold
+
+    def mask(self, arr: np.ndarray) -> np.ndarray:
+        return np.abs(arr) > self.threshold
+
+    def __repr__(self) -> str:
+        return f"ThresholdSparsifier(threshold={self.threshold})"

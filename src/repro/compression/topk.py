@@ -1,0 +1,78 @@
+"""Top-k magnitude sparsification — the paper's primary selection rule.
+
+"worker k calculates the threshold for sparsification, which we chose here
+as Top 1%" (§4.1): per layer, keep the R% entries of largest absolute
+value.  Implemented with ``np.argpartition`` (O(n), not a full sort).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import Sparsifier
+
+__all__ = ["TopKSparsifier", "topk_mask", "topk_threshold"]
+
+
+def _k_for_ratio(n: int, ratio: float) -> int:
+    """Number of entries kept for a send ratio in (0, 1]; at least 1."""
+    return max(1, min(n, math.ceil(n * ratio)))
+
+
+def topk_mask(arr: np.ndarray, ratio: float) -> np.ndarray:
+    """Boolean mask of the ⌈ratio·n⌉ largest-|value| entries of ``arr``."""
+    flat = np.abs(arr.reshape(-1))
+    n = flat.size
+    k = _k_for_ratio(n, ratio)
+    if k >= n:
+        return np.ones(arr.shape, dtype=bool)
+    idx = np.argpartition(flat, n - k)[n - k :]
+    mask = np.zeros(n, dtype=bool)
+    mask[idx] = True
+    return mask.reshape(arr.shape)
+
+
+def topk_threshold(arr: np.ndarray, ratio: float) -> float:
+    """The magnitude threshold ``thr`` such that |arr| > thr keeps ≈ top R%.
+
+    This is the ``thr ← R% of |u[j]|`` of Algorithms 1–3.  Exposed for tests
+    and for threshold-based variants; :func:`topk_mask` is what the
+    production path uses (exact k, robust to ties).
+    """
+    flat = np.abs(arr.reshape(-1))
+    k = _k_for_ratio(flat.size, ratio)
+    if k >= flat.size:
+        return -np.inf
+    return float(np.partition(flat, flat.size - k)[flat.size - k])
+
+
+class TopKSparsifier(Sparsifier):
+    """Keep the top ``ratio`` fraction of entries by magnitude, per layer.
+
+    ``ratio = R / 100`` in the paper's notation; the paper's headline setting
+    is R = 1 (99% sparsity).
+
+    ``min_sparse_size``: layers smaller than this are sent dense.  Production
+    top-k systems (DGC's reference implementation among them) exempt tiny
+    tensors — BatchNorm scales/biases — because a per-layer top-k over a
+    handful of elements starves most of them and destabilises training while
+    saving almost no bandwidth.
+    """
+
+    def __init__(self, ratio: float, min_sparse_size: int = 256) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+        if min_sparse_size < 0:
+            raise ValueError("min_sparse_size must be non-negative")
+        self.ratio = ratio
+        self.min_sparse_size = min_sparse_size
+
+    def mask(self, arr: np.ndarray) -> np.ndarray:
+        if arr.size < self.min_sparse_size:
+            return np.ones(arr.shape, dtype=bool)
+        return topk_mask(arr, self.ratio)
+
+    def __repr__(self) -> str:
+        return f"TopKSparsifier(ratio={self.ratio}, min_sparse_size={self.min_sparse_size})"

@@ -1,0 +1,85 @@
+"""Per-layer vector helpers.
+
+All distributed state in this reproduction — gradients, momenta, residuals,
+the server's M and v_k — is a mapping ``layer name -> ndarray`` aligned with
+``Module.named_parameters()``.  Sparsification is applied *per layer*
+(Algorithms 1–3 iterate ``for j = 0..J``), so the layer structure must be
+preserved end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = [
+    "LayerMap",
+    "layer_shapes",
+    "zeros_like_layers",
+    "clone_layers",
+    "gradients_of",
+    "parameters_of",
+    "assign_parameters",
+    "add_scaled",
+    "total_size",
+    "total_nbytes",
+    "flatten_layers",
+]
+
+LayerMap = "OrderedDict[str, np.ndarray]"
+
+
+def layer_shapes(model: Module) -> "OrderedDict[str, tuple[int, ...]]":
+    return OrderedDict((name, p.shape) for name, p in model.named_parameters())
+
+
+def zeros_like_layers(shapes: Mapping[str, tuple[int, ...]]) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict((name, np.zeros(shape)) for name, shape in shapes.items())
+
+
+def clone_layers(layers: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    return OrderedDict((name, arr.copy()) for name, arr in layers.items())
+
+
+def gradients_of(model: Module) -> "OrderedDict[str, np.ndarray]":
+    """Collect gradients after backward(); missing grads become zeros."""
+    out: OrderedDict[str, np.ndarray] = OrderedDict()
+    for name, p in model.named_parameters():
+        out[name] = p.grad if p.grad is not None else np.zeros_like(p.data)
+    return out
+
+
+def parameters_of(model: Module) -> "OrderedDict[str, np.ndarray]":
+    """Copies of the model's parameter arrays."""
+    return OrderedDict((name, p.data.copy()) for name, p in model.named_parameters())
+
+
+def assign_parameters(model: Module, values: Mapping[str, np.ndarray]) -> None:
+    """Copy ``values`` into the model's parameters in place."""
+    for name, p in model.named_parameters():
+        np.copyto(p.data, values[name])
+
+
+def add_scaled(
+    dest: Mapping[str, np.ndarray], src: Mapping[str, np.ndarray], scale: float = 1.0
+) -> None:
+    """``dest += scale * src`` layerwise, in place."""
+    for name, arr in dest.items():
+        arr += scale * src[name]
+
+
+def total_size(layers: Mapping[str, np.ndarray]) -> int:
+    return sum(arr.size for arr in layers.values())
+
+
+def total_nbytes(layers: Mapping[str, np.ndarray]) -> int:
+    return sum(arr.nbytes for arr in layers.values())
+
+
+def flatten_layers(layers: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Concatenate all layers into one flat vector (for norms/metrics)."""
+    return np.concatenate([arr.reshape(-1) for arr in layers.values()]) if layers else np.empty(0)

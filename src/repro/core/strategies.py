@@ -1,0 +1,277 @@
+"""Worker-side gradient emission strategies.
+
+Each strategy consumes the freshly computed per-layer gradients (∇L) and the
+current learning rate, and produces the per-layer *update* the worker ships
+to the server.  The server's single update rule is ``M ← M − g`` (Eq. 1),
+so every strategy emits updates already scaled by η (matching Algorithms
+1 and 3, where the residual/momentum accumulates ``η∇``).
+
+Implemented strategies map onto the paper's Table 5 rows:
+
+=============  ============================================================
+``dense``      ASGD — send η∇ dense, no local state.
+``dropping``   Gradient Dropping (Aji & Heafield; Algorithm 1) — residual
+               accumulation + per-layer Top-k.
+``dgc``        Deep Gradient Compression (Lin et al.) — momentum
+               correction + momentum factor masking + warmup sparsity ramp
+               + gradient clipping.
+``samomentum`` The paper's SAMomentum (Algorithm 3, Eq. 14–15).
+=============  ============================================================
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from ..compression.base import Sparsifier
+from ..compression.coding import SparseTensor, encode_mask
+from ..compression.topk import TopKSparsifier
+from ..optim.clip import clip_by_global_norm
+
+__all__ = [
+    "WorkerStrategy",
+    "DenseStrategy",
+    "GradientDroppingStrategy",
+    "DGCStrategy",
+    "SAMomentumStrategy",
+    "SparsityRamp",
+]
+
+UpdateMap = "OrderedDict[str, SparseTensor] | OrderedDict[str, np.ndarray]"
+
+
+class WorkerStrategy(ABC):
+    """Transforms local gradients into the update message sent upstream."""
+
+    #: whether :meth:`prepare` returns sparse (COO) or dense layers
+    sparse_output: bool = True
+
+    def __init__(self, shapes: Mapping[str, tuple[int, ...]]) -> None:
+        self.shapes = OrderedDict(shapes)
+
+    @abstractmethod
+    def prepare(
+        self, grads: Mapping[str, np.ndarray], lr: float
+    ) -> "OrderedDict[str, SparseTensor] | OrderedDict[str, np.ndarray]":
+        """Return the per-layer update to send for this iteration."""
+
+    def state_bytes(self) -> int:
+        """Worker-local buffer memory (for the §5.6.2 accounting)."""
+        return 0
+
+    def on_iteration(self) -> None:
+        """Hook called once per local iteration (warmup ramps etc.)."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing: subclasses expose their named buffers here.
+    def _buffers(self) -> "dict[str, OrderedDict[str, np.ndarray]]":
+        return {}
+
+    def state_dict(self) -> "dict[str, np.ndarray]":
+        """Snapshot the strategy's local buffers (residuals, momenta)."""
+        state: dict[str, np.ndarray] = {}
+        for buf_name, layers in self._buffers().items():
+            for layer_name, arr in layers.items():
+                state[f"{buf_name}/{layer_name}"] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: "Mapping[str, np.ndarray]") -> None:
+        """Restore buffers saved by :meth:`state_dict`."""
+        for buf_name, layers in self._buffers().items():
+            for layer_name, arr in layers.items():
+                np.copyto(arr, state[f"{buf_name}/{layer_name}"])
+
+
+class DenseStrategy(WorkerStrategy):
+    """Vanilla ASGD upload: the full η∇, no compression, no local state."""
+
+    sparse_output = False
+
+    def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, np.ndarray]":
+        return OrderedDict((name, lr * g) for name, g in grads.items())
+
+
+class GradientDroppingStrategy(WorkerStrategy):
+    """Algorithm 1: residual accumulation + per-layer Top-k selection.
+
+    ``r ← r + η∇``; send ``r ⊙ mask``; keep ``r ⊙ ¬mask`` locally.
+    Invariant (tested): sent + residual always equals the total accumulated
+    η∇ mass — nothing is lost, only delayed.
+    """
+
+    def __init__(self, shapes: Mapping[str, tuple[int, ...]], sparsifier: Sparsifier) -> None:
+        super().__init__(shapes)
+        self.sparsifier = sparsifier
+        self.residual: OrderedDict[str, np.ndarray] = OrderedDict(
+            (name, np.zeros(shape)) for name, shape in self.shapes.items()
+        )
+
+    def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, SparseTensor]":
+        out: OrderedDict[str, SparseTensor] = OrderedDict()
+        for name, g in grads.items():
+            r = self.residual[name]
+            r += lr * g
+            mask = self.sparsifier.mask(r)
+            out[name] = encode_mask(r, mask)
+            r[mask] = 0.0
+        return out
+
+    def state_bytes(self) -> int:
+        return sum(r.nbytes for r in self.residual.values())
+
+    def _buffers(self):
+        return {"residual": self.residual}
+
+
+class SparsityRamp:
+    """DGC's warmup schedule: exponentially ramp sparsity over early epochs.
+
+    Lin et al. ramp 75% → 93.75% → 98.4375% → 99.6% over the first epochs;
+    expressed here as a send-ratio ramp from ``start_ratio`` down to
+    ``final_ratio`` by a constant factor per epoch.
+    """
+
+    def __init__(
+        self,
+        final_ratio: float,
+        warmup_epochs: int = 4,
+        start_ratio: float = 0.25,
+        iterations_per_epoch: int = 1,
+    ) -> None:
+        if not 0 < final_ratio <= 1 or not 0 < start_ratio <= 1:
+            raise ValueError("ratios must be in (0, 1]")
+        if iterations_per_epoch < 1:
+            raise ValueError("iterations_per_epoch must be >= 1")
+        self.final_ratio = final_ratio
+        self.start_ratio = max(start_ratio, final_ratio)
+        self.warmup_epochs = warmup_epochs
+        self.iterations_per_epoch = iterations_per_epoch
+        if warmup_epochs > 0 and self.start_ratio > final_ratio:
+            self._decay = (final_ratio / self.start_ratio) ** (1.0 / warmup_epochs)
+        else:
+            self._decay = 1.0
+
+    def ratio_at(self, iteration: int) -> float:
+        epoch = iteration // self.iterations_per_epoch
+        if epoch >= self.warmup_epochs:
+            return self.final_ratio
+        return self.start_ratio * self._decay**epoch
+
+
+class DGCStrategy(WorkerStrategy):
+    """Deep Gradient Compression, asynchronous variant (DGC-async).
+
+    Momentum correction: accumulate *velocity* rather than raw gradient in
+    the residual ``v``; momentum factor masking: zero both ``u`` and ``v``
+    at sent coordinates; plus gradient clipping and the warmup sparsity
+    ramp.  (The paper grants DGC-async all of these tricks — §5 setup.)
+    """
+
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        ratio: float,
+        momentum: float,
+        ramp: SparsityRamp | None = None,
+        clip_norm: float | None = None,
+        min_sparse_size: int = 256,
+    ) -> None:
+        super().__init__(shapes)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.ratio = ratio
+        self.momentum = momentum
+        self.ramp = ramp
+        self.clip_norm = clip_norm
+        self.min_sparse_size = min_sparse_size
+        self.iteration = 0
+        self.u: OrderedDict[str, np.ndarray] = OrderedDict(
+            (name, np.zeros(shape)) for name, shape in self.shapes.items()
+        )
+        self.v: OrderedDict[str, np.ndarray] = OrderedDict(
+            (name, np.zeros(shape)) for name, shape in self.shapes.items()
+        )
+
+    def _current_sparsifier(self) -> TopKSparsifier:
+        ratio = self.ramp.ratio_at(self.iteration) if self.ramp is not None else self.ratio
+        return TopKSparsifier(ratio, min_sparse_size=self.min_sparse_size)
+
+    def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, SparseTensor]":
+        if self.clip_norm is not None:
+            grads = OrderedDict((name, g.copy()) for name, g in grads.items())
+            clip_by_global_norm(list(grads.values()), self.clip_norm)
+        sparsifier = self._current_sparsifier()
+        out: OrderedDict[str, SparseTensor] = OrderedDict()
+        for name, g in grads.items():
+            u, v = self.u[name], self.v[name]
+            u *= self.momentum
+            u += lr * g  # momentum correction: velocity, not raw gradient
+            v += u
+            mask = sparsifier.mask(v)
+            out[name] = encode_mask(v, mask)
+            v[mask] = 0.0
+            u[mask] = 0.0  # momentum factor masking
+        self.iteration += 1
+        return out
+
+    def state_bytes(self) -> int:
+        return sum(a.nbytes for a in self.u.values()) + sum(a.nbytes for a in self.v.values())
+
+    def _buffers(self):
+        return {"u": self.u, "v": self.v}
+
+
+class SAMomentumStrategy(WorkerStrategy):
+    """The paper's SAMomentum (Algorithm 3, Eq. 14–15).
+
+    Per iteration and layer::
+
+        u ← m·u + η∇
+        mask ← |u| in top R%
+        send  u ⊙ mask                       (sent values stay in u)
+        u ← u + (1/m − 1)·(u ⊙ ¬mask)        (unsent values pre-divided by m)
+
+    The 1/m rescale cancels the next iteration's ``m·u`` decay for unsent
+    coordinates, so momentum never "disappears" (Eq. 16); sparsification
+    becomes a per-parameter enlarged batch (Eq. 17).  Note there is **no**
+    separate residual buffer — ``u`` itself carries the unsent mass, which
+    is the memory saving claimed in §5.6.2.
+    """
+
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        sparsifier: Sparsifier,
+        momentum: float,
+    ) -> None:
+        super().__init__(shapes)
+        if not 0.0 < momentum < 1.0:
+            raise ValueError(f"SAMomentum requires momentum in (0, 1), got {momentum}")
+        self.sparsifier = sparsifier
+        self.momentum = momentum
+        self.u: OrderedDict[str, np.ndarray] = OrderedDict(
+            (name, np.zeros(shape)) for name, shape in self.shapes.items()
+        )
+
+    def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, SparseTensor]":
+        m = self.momentum
+        out: OrderedDict[str, SparseTensor] = OrderedDict()
+        for name, g in grads.items():
+            u = self.u[name]
+            u *= m
+            u += lr * g
+            mask = self.sparsifier.mask(u)
+            out[name] = encode_mask(u, mask)
+            # Rescale the unsent remainder by 1/m (Eq. 15, lower branch).
+            np.divide(u, m, out=u, where=~mask)
+        return out
+
+    def state_bytes(self) -> int:
+        return sum(u.nbytes for u in self.u.values())
+
+    def _buffers(self):
+        return {"u": self.u}

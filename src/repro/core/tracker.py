@@ -1,0 +1,140 @@
+"""Model Difference Tracking — the server side of DGS (§4.2, Algorithm 2).
+
+The server never materialises per-worker models.  It keeps:
+
+* ``M`` — the accumulation of all applied updates, ``M_t = θ_t − θ_0``
+  (Eq. 2).  Updates arrive as per-layer values ``g`` already scaled by η,
+  and are applied as ``M ← M − g`` (Eq. 1).
+* ``v_k`` — per worker, the accumulation of everything already shipped to
+  worker ``k`` (Eq. 3/6b).
+
+On each exchange with worker ``k`` the server answers with the *model
+difference* ``G = M − v_k`` (Eq. 3), optionally secondary-compressed
+(Eq. 6a), then advances ``v_k ← v_k + G``.  Without secondary compression
+``v_k == M`` after every exchange, which makes DGS exactly equivalent to
+download-the-whole-model ASGD (Eq. 5) — the headline invariant of §4.2.1.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from ..compression.base import Sparsifier
+from ..compression.coding import SparseTensor, encode_best, encode_mask
+
+__all__ = ["ModelDifferenceTracker"]
+
+
+class ModelDifferenceTracker:
+    """Server state for dual-way sparsification (M, per-worker v_k)."""
+
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        num_workers: int,
+        secondary: Sparsifier | None = None,
+        track_differences: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.shapes = OrderedDict(shapes)
+        self.num_workers = num_workers
+        self.secondary = secondary
+        self.track_differences = track_differences
+        self.M: OrderedDict[str, np.ndarray] = OrderedDict(
+            (name, np.zeros(shape)) for name, shape in self.shapes.items()
+        )
+        # v_k buffers exist only under difference tracking — vanilla ASGD
+        # downloads the whole model and pays no per-worker server memory.
+        self.v: list[OrderedDict[str, np.ndarray]] = [
+            OrderedDict((name, np.zeros(shape)) for name, shape in self.shapes.items())
+            for _ in range(num_workers if track_differences else 0)
+        ]
+        #: server timestamp t — incremented once per applied update (Table 1)
+        self.t = 0
+        #: prev(k): server timestamp of worker k's last download (Table 1)
+        self.prev = [0] * num_workers
+
+    # ------------------------------------------------------------------
+    def apply_update(self, update: "Mapping[str, SparseTensor] | Mapping[str, np.ndarray]") -> int:
+        """``M ← M − g`` (Eq. 1).  Returns the new server timestamp."""
+        for name, g in update.items():
+            dest = self.M[name]
+            if isinstance(g, SparseTensor):
+                dest.reshape(-1)[g.indices] -= g.values
+            elif hasattr(g, "to_dense"):  # quantised payloads (extensions)
+                dest -= g.to_dense()
+            else:
+                dest -= g
+        self.t += 1
+        return self.t
+
+    def model_difference(self, worker: int) -> "OrderedDict[str, SparseTensor]":
+        """Compute, record, and return ``G_k`` for ``worker`` (Eq. 3/6).
+
+        Side effects: ``v_k ← v_k + G`` and ``prev(k) ← t``.
+        """
+        if not self.track_differences:
+            raise RuntimeError("model_difference() requires track_differences=True")
+        vk = self.v[worker]
+        out: OrderedDict[str, SparseTensor] = OrderedDict()
+        for name, m_layer in self.M.items():
+            diff = m_layer - vk[name]
+            if self.secondary is not None:
+                mask = self.secondary.mask(diff)
+                sent = encode_mask(diff, mask)
+                # v_k advances only by what was actually sent (Eq. 6b) —
+                # the remainder is implicitly accumulated for later.
+                sent.add_into(vk[name])
+            else:
+                # G densifies with staleness; pick the cheapest wire format
+                # per layer (COO / bitmap / dense — see encode_best).
+                sent = encode_best(diff)
+                np.copyto(vk[name], m_layer)  # v_k == M (Eq. 3)
+            out[name] = sent
+        self.prev[worker] = self.t
+        return out
+
+    def staleness(self, worker: int) -> int:
+        """Updates applied at the server since this worker last synced."""
+        return self.t - self.prev[worker]
+
+    # ------------------------------------------------------------------
+    def global_model(self, theta0: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+        """Materialise θ_t = θ_0 + M_t (Eq. 2) — used for evaluation."""
+        return OrderedDict((name, theta0[name] + self.M[name]) for name in self.M)
+
+    def state_dict(self) -> "dict[str, np.ndarray]":
+        """Snapshot M, every v_k, t, and prev(k) for checkpointing."""
+        state: dict[str, np.ndarray] = {"t": np.array(self.t), "prev": np.array(self.prev)}
+        for name, arr in self.M.items():
+            state[f"M/{name}"] = arr.copy()
+        for k, vk in enumerate(self.v):
+            for name, arr in vk.items():
+                state[f"v{k}/{name}"] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: "Mapping[str, np.ndarray]") -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self.t = int(state["t"])
+        prev = [int(x) for x in np.asarray(state["prev"]).reshape(-1)]
+        if len(prev) != self.num_workers:
+            raise ValueError(
+                f"checkpoint has {len(prev)} workers, tracker expects {self.num_workers}"
+            )
+        self.prev = prev
+        for name, arr in self.M.items():
+            np.copyto(arr, state[f"M/{name}"])
+        for k, vk in enumerate(self.v):
+            for name, arr in vk.items():
+                np.copyto(arr, state[f"v{k}/{name}"])
+
+    def server_state_bytes(self) -> int:
+        """Memory held by M plus every v_k (the §5.6.2 accounting:
+        ``NumOfWorkers × ParameterMemOfModel`` for the v's, + one M)."""
+        m_bytes = sum(arr.nbytes for arr in self.M.values())
+        v_bytes = sum(sum(arr.nbytes for arr in vk.values()) for vk in self.v)
+        return m_bytes + v_bytes

@@ -1,0 +1,63 @@
+"""Image augmentation for the synthetic CIFAR/ImageNet pipelines.
+
+The paper's training pipeline is the standard CIFAR/ImageNet recipe; the
+two augmentations that matter at small resolution are random horizontal
+flips and random shifts (the padded-crop equivalent).  Both are vectorised
+over the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Augmenter", "random_flip", "random_shift"]
+
+
+def random_flip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Horizontally flip each image (N, C, H, W) with probability ``p``."""
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W), got shape {x.shape}")
+    flip = rng.random(len(x)) < p
+    out = x.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_shift(x: np.ndarray, rng: np.random.Generator, max_shift: int = 1) -> np.ndarray:
+    """Shift each image by up to ``max_shift`` pixels (zero-padded crop)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W), got shape {x.shape}")
+    if max_shift == 0:
+        return x
+    n, c, h, w = x.shape
+    pad = max_shift
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out = np.empty_like(x)
+    offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+    # Group by offset so each distinct shift is one vectorised slice.
+    for dy in range(2 * pad + 1):
+        for dx in range(2 * pad + 1):
+            sel = (offsets[:, 0] == dy) & (offsets[:, 1] == dx)
+            if sel.any():
+                out[sel] = padded[sel, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+class Augmenter:
+    """Composable batch augmentation: flip + shift, deterministic per seed."""
+
+    def __init__(self, flip: bool = True, max_shift: int = 1, seed: int = 0) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        self.flip = flip
+        self.max_shift = max_shift
+        self._rng = np.random.default_rng(seed)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            return x  # non-image data passes through untouched
+        if self.flip:
+            x = random_flip(x, self._rng)
+        if self.max_shift:
+            x = random_shift(x, self._rng, self.max_shift)
+        return x

@@ -1,0 +1,17 @@
+"""Figure 3 — learning curves on the ImageNet stand-in with 4 workers."""
+
+from __future__ import annotations
+
+from .common import resolve_fast
+from .fig2_cifar_curves import build_report
+
+
+def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)):
+    fast = resolve_fast(fast)
+    return build_report(
+        "Figure 3",
+        "Learning curve of ResNet-18 stand-in on synthetic ImageNet with 4 workers",
+        "imagenet",
+        num_workers=4,
+        fast=fast,
+    )

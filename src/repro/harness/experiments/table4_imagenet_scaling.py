@@ -1,0 +1,50 @@
+"""Table 4 — ImageNet stand-in at 4 and 16 workers."""
+
+from __future__ import annotations
+
+from ..config import get_workload
+from ..report import ExperimentReport
+from .common import METHOD_LABELS, mean_accuracy, resolve_fast, scaling_hyper
+
+PAPER_ROWS = [
+    (1, "MSGD", "69.40%", "-"),
+    (4, "ASGD", "66.68%", "-2.72%"),
+    (4, "GD-async", "66.26%", "-3.14%"),
+    (4, "DGC-async", "68.37%", "-1.03%"),
+    (4, "DGS", "69.00%", "-0.40%"),
+    (16, "ASGD", "66.25%", "-3.15%"),
+    (16, "GD-async", "66.19%", "-3.21%"),
+    (16, "DGC-async", "67.62%", "-1.78%"),
+    (16, "DGS", "68.25%", "-1.15%"),
+]
+
+
+def run(fast: bool | None = None, seeds: tuple[int, ...] = (0, 1)) -> ExperimentReport:
+    fast = resolve_fast(fast)
+    worker_counts = (4,) if fast else (4, 16)
+    if fast:
+        seeds = seeds[:1]
+    wl = get_workload("imagenet")
+    report = ExperimentReport(
+        experiment_id="Table 4",
+        title="ResNet-18 stand-in on synthetic ImageNet, 4 and 16 workers",
+        headers=("Workers in total", "Training Method", "Top-1 Accuracy", "Δ vs MSGD"),
+        paper_rows=PAPER_ROWS,
+    )
+    msgd_acc, _ = mean_accuracy("msgd", wl, 1, seeds, fast)
+    report.add_row(1, "MSGD", f"{100 * msgd_acc:.2f}%", "-")
+    for n in worker_counts:
+        hyper = scaling_hyper(wl, n)  # momentum reduced at scale (§5.1/§5.4)
+        # "Batchsize per iteration 256" is constant across worker counts in
+        # the paper's Table 4: per-worker batch shrinks as workers grow.
+        bs = max(8, (wl.batch_size * 4) // n)
+        for method in ("asgd", "gd_async", "dgc_async", "dgs"):
+            acc, _ = mean_accuracy(method, wl, n, seeds, fast, hyper=hyper, batch_size=bs)
+            delta = 100 * (acc - msgd_acc)
+            report.add_row(n, METHOD_LABELS[method], f"{100 * acc:.2f}%", f"{delta:+.2f}%")
+    report.add_note(
+        "Expected shape: DGS closest to MSGD at 4 workers; at 16 workers the "
+        "sparsified methods and ASGD compress into a ~1-pt band at this micro "
+        "scale (deviation from the paper's +2-pt DGS margin — see EXPERIMENTS.md)."
+    )
+    return report

@@ -1,0 +1,98 @@
+"""Single-node MSGD baseline trainer (the paper's reference line).
+
+"as the baseline approach, vanilla MSGD is run with a single node" (§5.2).
+No parameter server, no compression — plain momentum SGD over the full
+training set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.loader import BatchIterator
+from ..data.synthetic import Dataset
+from ..metrics.curves import Curve
+from ..metrics.evaluation import evaluate_model
+from ..metrics.meters import EMAMeter
+from ..nn.loss import cross_entropy
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from ..optim.sgd import SGD
+
+__all__ = ["LocalTrainer", "LocalResult"]
+
+
+@dataclass
+class LocalResult:
+    final_accuracy: float
+    final_loss: float
+    loss_vs_step: Curve
+    acc_vs_step: Curve
+    total_iterations: int
+    samples_processed: int
+
+
+class LocalTrainer:
+    """Plain momentum-SGD training on one node."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        dataset: Dataset,
+        batch_size: int,
+        total_iterations: int,
+        lr: float = 0.1,
+        momentum: float = 0.7,
+        schedule: Schedule | None = None,
+        eval_every: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.model = model_factory()
+        self.dataset = dataset
+        self.batches = BatchIterator(
+            dataset.x_train, dataset.y_train, batch_size, seed=seed
+        )
+        self.total_iterations = total_iterations
+        self.schedule = schedule if schedule is not None else ConstantLR(lr)
+        self.optimizer = SGD(self.model.parameters(), lr=lr, momentum=momentum)
+        self.eval_every = eval_every
+
+    def run(self) -> LocalResult:
+        loss_vs_step = Curve("loss_vs_step")
+        acc_vs_step = Curve("acc_vs_step")
+        ema = EMAMeter(beta=0.9)
+        samples = 0
+        for it in range(1, self.total_iterations + 1):
+            x, y = self.batches.next_batch()
+            samples += len(x)
+            epoch = self.batches.batches_served / max(self.batches.batches_per_epoch, 1)
+            self.optimizer.lr = self.schedule(epoch)
+            logits = self.model(Tensor(x))
+            loss = cross_entropy(logits, y)
+            self.optimizer.zero_grad()
+            loss.backward()
+            self.optimizer.step()
+            loss_vs_step.add(it, ema.update(float(loss.data)))
+            if self.eval_every is not None and it % self.eval_every == 0:
+                acc, _ = evaluate_model(self.model, self.dataset.x_val, self.dataset.y_val)
+                acc_vs_step.add(it, acc)
+
+        final_acc, final_loss = evaluate_model(
+            self.model, self.dataset.x_val, self.dataset.y_val
+        )
+        if self.eval_every is not None and (
+            not len(acc_vs_step) or acc_vs_step.xs[-1] < self.total_iterations
+        ):
+            acc_vs_step.add(self.total_iterations, final_acc)
+        return LocalResult(
+            final_accuracy=final_acc,
+            final_loss=final_loss,
+            loss_vs_step=loss_vs_step,
+            acc_vs_step=acc_vs_step,
+            total_iterations=self.total_iterations,
+            samples_processed=samples,
+        )

@@ -1,0 +1,113 @@
+"""High-level experiment runners shared by benches, examples, and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from ..core.methods import Hyper, get_method
+from ..harness.local import LocalResult, LocalTrainer
+from ..sim.cluster import ClusterConfig
+from ..sim.engine import SimResult, SimulatedTrainer
+from .config import WorkloadSpec, paper_cluster
+
+__all__ = ["run_distributed", "run_msgd", "run_all_methods", "DISTRIBUTED_METHODS"]
+
+DISTRIBUTED_METHODS = ("asgd", "gd_async", "dgc_async", "dgs")
+
+
+def run_distributed(
+    method: str,
+    workload: WorkloadSpec,
+    num_workers: int,
+    gbps: float = 10.0,
+    epochs: int | None = None,
+    batch_size: int | None = None,
+    total_iterations: int | None = None,
+    hyper: Hyper | None = None,
+    secondary_compression: bool | None = None,
+    cluster: ClusterConfig | None = None,
+    eval_every: int | None = None,
+    staleness_damping: bool = False,
+    fast: bool | None = None,
+    seed: int = 0,
+) -> SimResult:
+    """Simulate one distributed run of ``method`` on ``workload``."""
+    dataset = workload.dataset(fast)
+    model_factory = workload.model_factory(seed=seed)
+    bs = batch_size if batch_size is not None else workload.batch_size
+    total_epochs = epochs if epochs is not None else workload.epochs
+    total_iters = (
+        total_iterations
+        if total_iterations is not None
+        else max(1, (total_epochs * dataset.n_train) // bs)
+    )
+    h = hyper if hyper is not None else workload.hyper
+    h = replace(h, iterations_per_epoch=max(1, total_iters // max(total_epochs, 1) // num_workers))
+    if cluster is None:
+        cluster = paper_cluster(num_workers, gbps, model_factory(), seed=seed)
+    trainer = SimulatedTrainer(
+        method,
+        model_factory,
+        dataset,
+        cluster,
+        batch_size=bs,
+        total_iterations=total_iters,
+        hyper=h,
+        schedule=workload.schedule(total_epochs, lr=h.lr),
+        secondary_compression=secondary_compression,
+        eval_every=eval_every,
+        staleness_damping=staleness_damping,
+        seed=seed,
+    )
+    return trainer.run()
+
+
+def run_msgd(
+    workload: WorkloadSpec,
+    epochs: int | None = None,
+    batch_size: int | None = None,
+    eval_every: int | None = None,
+    fast: bool | None = None,
+    seed: int = 0,
+) -> LocalResult:
+    """Single-node momentum-SGD baseline on ``workload``."""
+    dataset = workload.dataset(fast)
+    bs = batch_size if batch_size is not None else workload.batch_size
+    total_epochs = epochs if epochs is not None else workload.epochs
+    total_iters = max(1, (total_epochs * dataset.n_train) // bs)
+    trainer = LocalTrainer(
+        workload.model_factory(seed=seed),
+        dataset,
+        batch_size=bs,
+        total_iterations=total_iters,
+        lr=workload.hyper.lr,
+        momentum=workload.hyper.momentum,
+        schedule=workload.schedule(total_epochs),
+        eval_every=eval_every,
+        seed=seed,
+    )
+    return trainer.run()
+
+
+def run_all_methods(
+    workload: WorkloadSpec,
+    num_workers: int,
+    methods: tuple[str, ...] = DISTRIBUTED_METHODS,
+    include_msgd: bool = True,
+    **kwargs,
+) -> "dict[str, SimResult | LocalResult]":
+    """Run every requested method on identical data/model/cluster settings."""
+    results: dict[str, SimResult | LocalResult] = {}
+    if include_msgd:
+        results["msgd"] = run_msgd(
+            workload,
+            epochs=kwargs.get("epochs"),
+            batch_size=kwargs.get("batch_size"),
+            eval_every=kwargs.get("eval_every"),
+            fast=kwargs.get("fast"),
+            seed=kwargs.get("seed", 0),
+        )
+    for m in methods:
+        results[m] = run_distributed(m, workload, num_workers, **kwargs)
+    return results

@@ -1,0 +1,22 @@
+"""Meters, curves, tables, and ASCII figure rendering."""
+
+from .curves import Curve, CurveSet
+from .meters import AverageMeter, EMAMeter
+from .plots import ascii_plot
+from .runlog import RunLogger, load_runlog
+from .svg import render_svg, save_svg
+from .tables import format_markdown_table, format_table
+
+__all__ = [
+    "AverageMeter",
+    "EMAMeter",
+    "Curve",
+    "CurveSet",
+    "ascii_plot",
+    "RunLogger",
+    "load_runlog",
+    "render_svg",
+    "save_svg",
+    "format_table",
+    "format_markdown_table",
+]

@@ -1,0 +1,52 @@
+"""Scalar tracking utilities."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["AverageMeter", "EMAMeter"]
+
+
+class AverageMeter:
+    """Running mean/min/max/count of a scalar series."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.reset()
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def update(self, value: float, n: int = 1) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        value = float(value)
+        self.count += n
+        self.total += value * n
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def avg(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"AverageMeter({self.name}: avg={self.avg:.4f}, n={self.count})"
+
+
+class EMAMeter:
+    """Exponential moving average (used to smooth training-loss curves)."""
+
+    def __init__(self, beta: float = 0.9) -> None:
+        if not 0.0 <= beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {beta}")
+        self.beta = beta
+        self.value: float | None = None
+
+    def update(self, x: float) -> float:
+        x = float(x)
+        self.value = x if self.value is None else self.beta * self.value + (1 - self.beta) * x
+        return self.value

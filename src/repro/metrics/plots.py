@@ -1,0 +1,70 @@
+"""ASCII line plots — the figure renderer for a terminal-only environment."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .curves import Curve
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    curves: "Mapping[str, Curve] | Mapping[str, tuple[Sequence[float], Sequence[float]]]",
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render one or more curves as an ASCII chart with a legend."""
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, c in curves.items():
+        if isinstance(c, Curve):
+            xs, ys = np.asarray(c.xs, dtype=float), np.asarray(c.ys, dtype=float)
+        else:
+            xs, ys = np.asarray(c[0], dtype=float), np.asarray(c[1], dtype=float)
+        if len(xs):
+            series[name] = (xs, ys)
+    if not series:
+        return f"{title}\n(no data)"
+
+    xmin = min(s[0].min() for s in series.values())
+    xmax = max(s[0].max() for s in series.values())
+    ymin = min(s[1].min() for s in series.values())
+    ymax = max(s[1].max() for s in series.values())
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        # Resample each series at every column so lines look continuous.
+        cols = np.arange(width)
+        col_x = xmin + cols / (width - 1) * (xmax - xmin)
+        in_range = (col_x >= xs.min()) & (col_x <= xs.max())
+        col_y = np.interp(col_x, xs, ys)
+        rows = ((ymax - col_y) / (ymax - ymin) * (height - 1)).round().astype(int)
+        for c in cols[in_range]:
+            r = min(max(rows[c], 0), height - 1)
+            grid[r][c] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        yval = ymax - r / (height - 1) * (ymax - ymin)
+        lines.append(f"{yval:>10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':>11} {xmin:<12.4g}{xlabel:^{max(width - 26, 1)}}{xmax:>12.4g}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}   (y: {ylabel})")
+    return "\n".join(lines)

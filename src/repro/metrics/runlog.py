@@ -1,0 +1,91 @@
+"""Structured run logging (JSON-lines) for training telemetry.
+
+Trainers accept a :class:`RunLogger`; every applied update emits one
+record (step, virtual time, worker, loss, staleness, bytes).  Records go
+to memory and optionally to a ``.jsonl`` file, and can be reloaded into
+:class:`~repro.metrics.curves.Curve` objects for plotting — the
+offline-friendly equivalent of a TensorBoard scalar stream.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import IO, Any, Iterable, Mapping
+
+from .curves import Curve
+
+__all__ = ["RunLogger", "load_runlog"]
+
+
+class RunLogger:
+    """Collects per-step records; optionally mirrors them to a JSONL file."""
+
+    def __init__(self, path: "str | pathlib.Path | None" = None, meta: "Mapping[str, Any] | None" = None) -> None:
+        self.records: list[dict[str, Any]] = []
+        self._fh: IO[str] | None = None
+        self.path = pathlib.Path(path) if path is not None else None
+        if self.path is not None:
+            self._fh = open(self.path, "w")
+        if meta:
+            self.log(record_type="meta", **dict(meta))
+
+    # ------------------------------------------------------------------
+    def log(self, record_type: str = "step", **fields: Any) -> None:
+        record = {"type": record_type, **fields}
+        self.records.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record) + "\n")
+
+    def log_step(
+        self,
+        step: int,
+        loss: float,
+        time_s: float | None = None,
+        worker: int | None = None,
+        staleness: int | None = None,
+        **extra: Any,
+    ) -> None:
+        fields: dict[str, Any] = {"step": step, "loss": float(loss)}
+        if time_s is not None:
+            fields["time_s"] = float(time_s)
+        if worker is not None:
+            fields["worker"] = int(worker)
+        if staleness is not None:
+            fields["staleness"] = int(staleness)
+        fields.update(extra)
+        self.log(record_type="step", **fields)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunLogger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def steps(self) -> "list[dict[str, Any]]":
+        return [r for r in self.records if r.get("type") == "step"]
+
+    def curve(self, y: str = "loss", x: str = "step", name: str | None = None) -> Curve:
+        """Extract a Curve of field ``y`` against field ``x``."""
+        c = Curve(name or f"{y}_vs_{x}")
+        for r in self.steps():
+            if x in r and y in r:
+                c.add(float(r[x]), float(r[y]))
+        return c
+
+
+def load_runlog(path: "str | pathlib.Path") -> RunLogger:
+    """Reload a ``.jsonl`` run log written by :class:`RunLogger`."""
+    logger = RunLogger()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                logger.records.append(json.loads(line))
+    return logger

@@ -1,0 +1,138 @@
+"""Minimal SVG line-chart renderer (no plotting library available offline).
+
+Produces standalone .svg files for the paper's figures: multiple series,
+axes with tick labels, a legend, optional log-scale y.  Kept deliberately
+simple — the benchmarks write one chart per figure into
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .curves import Curve
+
+__all__ = ["render_svg", "save_svg"]
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf")
+_W, _H = 640, 400
+_ML, _MR, _MT, _MB = 64, 16, 36, 48  # margins
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(raw))
+    step = min(s * mag for s in (1, 2, 5, 10) if s * mag >= raw)
+    start = math.ceil(lo / step) * step
+    out = []
+    t = start
+    while t <= hi + 1e-12 * step:
+        out.append(round(t, 12))
+        t += step
+    return out or [lo]
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-2:
+        return f"{v:.1e}"
+    return f"{v:g}"
+
+
+def render_svg(
+    curves: "Mapping[str, Curve] | Mapping[str, tuple[Sequence[float], Sequence[float]]]",
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    logy: bool = False,
+) -> str:
+    """Render named series into a standalone SVG document string."""
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for name, c in curves.items():
+        xs, ys = (c.xs, c.ys) if isinstance(c, Curve) else c
+        xs, ys = np.asarray(xs, float), np.asarray(ys, float)
+        if logy:
+            keep = ys > 0
+            xs, ys = xs[keep], np.log10(ys[keep])
+        if len(xs):
+            series[name] = (xs, ys)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{_W / 2}" y="20" text-anchor="middle" font-size="14">{title}</text>')
+
+    if not series:
+        parts.append(f'<text x="{_W / 2}" y="{_H / 2}" text-anchor="middle">(no data)</text>')
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    xmin = min(s[0].min() for s in series.values())
+    xmax = max(s[0].max() for s in series.values())
+    ymin = min(s[1].min() for s in series.values())
+    ymax = max(s[1].max() for s in series.values())
+    if xmax == xmin:
+        xmax = xmin + 1
+    if ymax == ymin:
+        ymax = ymin + 1
+    pw, ph = _W - _ML - _MR, _H - _MT - _MB
+
+    def sx(x: float) -> float:
+        return _ML + (x - xmin) / (xmax - xmin) * pw
+
+    def sy(y: float) -> float:
+        return _MT + (ymax - y) / (ymax - ymin) * ph
+
+    # Axes + grid + ticks.
+    parts.append(
+        f'<rect x="{_ML}" y="{_MT}" width="{pw}" height="{ph}" fill="none" stroke="#888"/>'
+    )
+    for t in _ticks(xmin, xmax):
+        parts.append(f'<line x1="{sx(t):.1f}" y1="{_MT + ph}" x2="{sx(t):.1f}" y2="{_MT + ph + 4}" stroke="#555"/>')
+        parts.append(
+            f'<text x="{sx(t):.1f}" y="{_MT + ph + 18}" text-anchor="middle">{_fmt(t)}</text>'
+        )
+    for t in _ticks(ymin, ymax):
+        label = _fmt(10**t) if logy else _fmt(t)
+        parts.append(f'<line x1="{_ML}" y1="{sy(t):.1f}" x2="{_ML - 4}" y2="{sy(t):.1f}" stroke="#555"/>')
+        parts.append(
+            f'<line x1="{_ML}" y1="{sy(t):.1f}" x2="{_ML + pw}" y2="{sy(t):.1f}" stroke="#eee"/>'
+        )
+        parts.append(
+            f'<text x="{_ML - 8}" y="{sy(t) + 4:.1f}" text-anchor="end">{label}</text>'
+        )
+    if xlabel:
+        parts.append(f'<text x="{_ML + pw / 2}" y="{_H - 8}" text-anchor="middle">{xlabel}</text>')
+    if ylabel:
+        ylab = f"log10({ylabel})" if logy else ylabel
+        parts.append(
+            f'<text x="14" y="{_MT + ph / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {_MT + ph / 2})">{ylab}</text>'
+        )
+
+    # Series polylines + legend.
+    for i, (name, (xs, ys)) in enumerate(series.items()):
+        color = _COLORS[i % len(_COLORS)]
+        pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        parts.append(f'<polyline points="{pts}" fill="none" stroke="{color}" stroke-width="1.8"/>')
+        ly = _MT + 14 + 16 * i
+        parts.append(f'<line x1="{_ML + pw - 130}" y1="{ly}" x2="{_ML + pw - 108}" y2="{ly}" stroke="{color}" stroke-width="2.5"/>')
+        parts.append(f'<text x="{_ML + pw - 102}" y="{ly + 4}">{name}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(path, curves, **kwargs) -> None:
+    """Render and write an SVG chart to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(render_svg(curves, **kwargs))

@@ -1,0 +1,16 @@
+"""Reference model zoo used by the experiments."""
+
+from .mlp import MLP
+from .cnn import SimpleCNN
+from .resnet import BasicBlock, MicroResNet, micro_resnet18, micro_resnet_imagenet
+from .vgg import SmallVGG
+
+__all__ = [
+    "MLP",
+    "SimpleCNN",
+    "SmallVGG",
+    "BasicBlock",
+    "MicroResNet",
+    "micro_resnet18",
+    "micro_resnet_imagenet",
+]

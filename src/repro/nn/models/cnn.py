@@ -1,0 +1,44 @@
+"""Small convolutional classifier for image-shaped synthetic data."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..conv import Conv2d, GlobalAvgPool2d, MaxPool2d
+from ..layers import Linear, ReLU
+from ..module import Module
+from ..norm import BatchNorm2d
+
+__all__ = ["SimpleCNN"]
+
+
+class SimpleCNN(Module):
+    """conv-BN-ReLU ×2 with pooling, then a linear head.
+
+    Input: (N, in_channels, H, W) with H, W divisible by 4.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        width: int = 8,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv2d(in_channels, width, 3, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(width)
+        self.pool1 = MaxPool2d(2)
+        self.conv2 = Conv2d(width, width * 2, 3, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(width * 2)
+        self.pool2 = MaxPool2d(2)
+        self.gap = GlobalAvgPool2d()
+        self.fc = Linear(width * 2, num_classes, rng=rng)
+        self.relu = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.pool1(self.relu(self.bn1(self.conv1(x))))
+        x = self.pool2(self.relu(self.bn2(self.conv2(x))))
+        return self.fc(self.gap(x))

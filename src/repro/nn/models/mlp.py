@@ -1,0 +1,39 @@
+"""Multi-layer perceptron — the fast model for unit/property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..layers import Linear, ReLU
+from ..module import Module, Sequential
+
+__all__ = ["MLP"]
+
+
+class MLP(Module):
+    """Fully connected classifier with ReLU hidden layers."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple[int, ...] = (64, 64),
+        num_classes: int = 10,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        dims = (in_features, *hidden)
+        layers: list[Module] = []
+        for a, b in zip(dims[:-1], dims[1:]):
+            layers.append(Linear(a, b, rng=rng))
+            layers.append(ReLU())
+        layers.append(Linear(dims[-1], num_classes, rng=rng))
+        self.net = Sequential(*layers)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.net(x)

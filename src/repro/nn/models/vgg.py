@@ -1,0 +1,57 @@
+"""SmallVGG — a plain (non-residual) deep CNN for the model zoo.
+
+A VGG-style stack (conv-conv-pool blocks, no shortcuts) complements
+MicroResNet: compression behaviour differs on plain networks because the
+gradient magnitude distribution is less heavy-tailed without residual
+scaling, which is exactly the kind of architecture ablation a downstream
+user of a sparsification library runs first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...autograd import Tensor
+from ..conv import Conv2d, GlobalAvgPool2d, MaxPool2d
+from ..layers import Linear, ReLU
+from ..module import Module, Sequential
+from ..norm import BatchNorm2d
+
+__all__ = ["SmallVGG"]
+
+
+class SmallVGG(Module):
+    """conv×2+pool blocks at doubling width, then a linear head.
+
+    ``widths=(8, 16)`` with 8×8 inputs gives a 4-layer convolutional
+    backbone; each block halves the spatial size.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 3,
+        num_classes: int = 10,
+        widths: tuple[int, ...] = (8, 16),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        prev = in_channels
+        for width in widths:
+            layers += [
+                Conv2d(prev, width, 3, padding=1, bias=False, rng=rng),
+                BatchNorm2d(width),
+                ReLU(),
+                Conv2d(width, width, 3, padding=1, bias=False, rng=rng),
+                BatchNorm2d(width),
+                ReLU(),
+                MaxPool2d(2),
+            ]
+            prev = width
+        self.features = Sequential(*layers)
+        self.gap = GlobalAvgPool2d()
+        self.fc = Linear(prev, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.gap(self.features(x)))

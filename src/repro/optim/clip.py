@@ -1,0 +1,33 @@
+"""Gradient clipping (one of DGC's accuracy-preserving tricks)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["global_norm", "clip_by_global_norm"]
+
+
+def global_norm(grads: Sequence[np.ndarray]) -> float:
+    """L2 norm of the concatenation of all gradient arrays."""
+    total = 0.0
+    for g in grads:
+        total += float(np.dot(g.reshape(-1), g.reshape(-1)))
+    return math.sqrt(total)
+
+
+def clip_by_global_norm(grads: Sequence[np.ndarray], max_norm: float) -> float:
+    """Scale ``grads`` in place so their global norm is ≤ ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_norm(grads)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for g in grads:
+            g *= scale
+    return norm

@@ -1,0 +1,80 @@
+"""LARS — Layer-wise Adaptive Rate Scaling (You et al., the paper's [32]).
+
+§2 positions LARS as the large-batch alternative to communication
+compression: "changes the learning rate independently for each layer based
+on the norm of their weights and the norm of their gradient", enabling 8k–
+32k batches.  Included so the large-batch axis of the related-work
+comparison is runnable.
+
+Per layer: ``local_lr = η_trust · ‖w‖ / (‖∇‖ + wd·‖w‖)``;
+``v ← m·v + lr·local_lr·(∇ + wd·w)``; ``w ← w − v``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["LARS"]
+
+
+class LARS:
+    """SGD with layer-wise adaptive rate scaling and momentum."""
+
+    def __init__(
+        self,
+        params: "list[Parameter]",
+        lr: float,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+        trust_coefficient: float = 0.001,
+        eps: float = 1e-9,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if trust_coefficient <= 0:
+            raise ValueError("trust_coefficient must be positive")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.trust_coefficient = trust_coefficient
+        self.eps = eps
+        self._velocity: "list[np.ndarray | None]" = [None] * len(self.params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def local_lr(self, p: Parameter) -> float:
+        """The layer's adaptive rate multiplier (1.0 for zero-norm layers)."""
+        if p.grad is None:
+            return 1.0
+        w_norm = float(np.linalg.norm(p.data))
+        g_norm = float(np.linalg.norm(p.grad))
+        if w_norm == 0.0 or g_norm == 0.0:
+            return 1.0
+        return self.trust_coefficient * w_norm / (
+            g_norm + self.weight_decay * w_norm + self.eps
+        )
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            scaled = self.lr * self.local_lr(p) * g
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += scaled
+                p.data -= v
+            else:
+                p.data -= scaled

@@ -1,0 +1,69 @@
+"""Stochastic gradient descent with (Nesterov) momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Classic SGD.  The single-node MSGD baseline of the paper (Eq. 7, N=1).
+
+    Update rule (momentum ``m``, learning rate ``lr``)::
+
+        u <- m * u + lr * (grad + weight_decay * w)
+        w <- w - u
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray | None] = [None] * len(self.params)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update from the gradients currently stored on params."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(p.data)
+                v = self._velocity[i]
+                v *= self.momentum
+                v += self.lr * g
+                if self.nesterov:
+                    p.data -= self.momentum * v + self.lr * g
+                else:
+                    p.data -= v
+            else:
+                p.data -= self.lr * g
+
+    def velocity_bytes(self) -> int:
+        """Memory held by momentum buffers (for the §5.6.2 accounting)."""
+        return sum(v.nbytes for v in self._velocity if v is not None)

@@ -1,0 +1,24 @@
+"""Parameter-server substrate: messages, server, workers, threaded trainer."""
+
+from .codec import decode_message, encode_message
+from .messages import DiffMessage, GradientMessage, ModelMessage, payload_dense_nbytes, payload_nbytes
+from .process import ProcessResult, ProcessTrainer
+from .server import ParameterServer
+from .threaded import ThreadedResult, ThreadedTrainer
+from .worker import WorkerNode
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "ProcessTrainer",
+    "ProcessResult",
+    "GradientMessage",
+    "DiffMessage",
+    "ModelMessage",
+    "payload_nbytes",
+    "payload_dense_nbytes",
+    "ParameterServer",
+    "WorkerNode",
+    "ThreadedTrainer",
+    "ThreadedResult",
+]

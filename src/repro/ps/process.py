@@ -1,0 +1,215 @@
+"""Multi-process parameter-server trainer.
+
+The closest offline stand-in for the paper's multi-machine deployment:
+workers are separate OS processes (true parallel gradient computation, no
+GIL sharing), and every exchange travels as *actual bytes* through an OS
+pipe using the binary wire codec (``repro.ps.codec``) — the same
+``encode()``/``decode()``路径 the paper's gloo transport performs.
+
+Frame format on the pipe: little-endian ``f64 loss`` + codec message bytes
+upstream; codec message bytes downstream; an empty frame closes a worker.
+
+Notes
+-----
+* Requires the ``fork`` start method (Linux default): workers inherit the
+  model factory and dataset by address-space copy, so no pickling of
+  closures is needed.
+* Values cross the wire as float32 (as on the paper's testbed), so worker
+  replicas drift from the server model at float32 resolution — real
+  deployments hold float32 end-to-end, making this exact in practice.
+* BatchNorm running statistics stay local to each worker process; the
+  final evaluation uses a fresh replica's statistics (prefer BN-free
+  models for exact numbers here, e.g. MLP).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import struct
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait
+from typing import Callable
+
+import numpy as np
+
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec, get_method
+from ..data.loader import DataLoader
+from ..data.synthetic import Dataset
+from ..metrics.curves import Curve
+from ..metrics.evaluation import evaluate_params
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from .codec import decode_message, encode_message
+from .server import ParameterServer
+from .worker import WorkerNode
+
+__all__ = ["ProcessTrainer", "ProcessResult"]
+
+_LOSS = struct.Struct("<d")
+
+
+@dataclass
+class ProcessResult:
+    final_accuracy: float
+    final_loss: float
+    loss_curve: Curve
+    server_timestamp: int
+    mean_staleness: float
+    wire_bytes_up: int
+    wire_bytes_down: int
+
+
+def _worker_main(
+    conn: Connection,
+    worker_id: int,
+    num_workers: int,
+    model_factory: Callable[[], Module],
+    dataset: Dataset,
+    theta0,
+    batch_size: int,
+    iterations: int,
+    method: MethodSpec,
+    hyper: Hyper,
+    schedule: Schedule,
+    seed: int,
+) -> None:
+    model = model_factory()
+    for (name, p) in model.named_parameters():
+        np.copyto(p.data, theta0[name])
+    shapes = {name: arr.shape for name, arr in theta0.items()}
+    loader = DataLoader(dataset, batch_size, seed=seed)
+    node = WorkerNode(
+        worker_id,
+        model,
+        loader.worker_iterator(worker_id, num_workers),
+        method.make_strategy(shapes, hyper),
+        schedule=schedule,
+    )
+    try:
+        for _ in range(iterations):
+            msg = node.compute_step()
+            conn.send_bytes(_LOSS.pack(node.last_loss) + encode_message(msg))
+            reply = decode_message(conn.recv_bytes())
+            node.apply_reply(reply)
+    finally:
+        conn.send_bytes(b"")  # close frame
+        conn.close()
+
+
+class ProcessTrainer:
+    """PS training with one OS process per worker, bytes on real pipes."""
+
+    def __init__(
+        self,
+        method: "MethodSpec | str",
+        model_factory: Callable[[], Module],
+        dataset: Dataset,
+        num_workers: int,
+        batch_size: int,
+        iterations_per_worker: int,
+        hyper: Hyper | None = None,
+        schedule: Schedule | None = None,
+        secondary_compression: bool | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.method = get_method(method) if isinstance(method, str) else method
+        if not self.method.distributed:
+            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
+        self.hyper = hyper if hyper is not None else Hyper()
+        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.model_factory = model_factory
+        self.dataset = dataset
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.iterations_per_worker = iterations_per_worker
+        self.seed = seed
+
+        self.eval_model = model_factory()
+        self.theta0 = parameters_of(self.eval_model)
+        use_secondary = (
+            self.method.secondary_default if secondary_compression is None else secondary_compression
+        )
+        secondary = (
+            self.hyper.secondary_ratio
+            if (self.method.downstream == "difference" and use_secondary)
+            else None
+        )
+        self.server = ParameterServer(
+            self.theta0,
+            num_workers,
+            downstream=self.method.downstream,
+            secondary_ratio=secondary,
+            secondary_min_sparse_size=self.hyper.min_sparse_size,
+        )
+
+    def run(self) -> ProcessResult:
+        ctx = mp.get_context("fork")
+        conns: list[Connection] = []
+        procs: list[mp.Process] = []
+        for w in range(self.num_workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child,
+                    w,
+                    self.num_workers,
+                    self.model_factory,
+                    self.dataset,
+                    self.theta0,
+                    self.batch_size,
+                    self.iterations_per_worker,
+                    self.method,
+                    self.hyper,
+                    self.schedule,
+                    self.seed,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        loss_curve = Curve("loss_vs_server_step")
+        wire_up = wire_down = 0
+        open_conns = {id(c): c for c in conns}
+        try:
+            while open_conns:
+                for conn in wait(list(open_conns.values())):
+                    try:
+                        raw = conn.recv_bytes()
+                    except EOFError:
+                        open_conns.pop(id(conn), None)
+                        continue
+                    if not raw:  # close frame
+                        open_conns.pop(id(conn), None)
+                        continue
+                    (loss,) = _LOSS.unpack_from(raw, 0)
+                    msg = decode_message(memoryview(raw)[_LOSS.size :])
+                    wire_up += len(raw) - _LOSS.size
+                    reply = self.server.handle(msg)
+                    out = encode_message(reply)
+                    wire_down += len(out)
+                    conn.send_bytes(out)
+                    loss_curve.add(len(loss_curve) + 1, loss)
+        finally:
+            for proc in procs:
+                proc.join(timeout=30)
+                if proc.is_alive():
+                    proc.terminate()
+
+        global_params = self.server.global_model()
+        acc, loss = evaluate_params(
+            self.eval_model, global_params, self.dataset.x_val, self.dataset.y_val
+        )
+        return ProcessResult(
+            final_accuracy=acc,
+            final_loss=loss,
+            loss_curve=loss_curve,
+            server_timestamp=self.server.timestamp,
+            mean_staleness=self.server.staleness_meter.avg,
+            wire_bytes_up=wire_up,
+            wire_bytes_down=wire_down,
+        )

@@ -1,0 +1,120 @@
+"""The parameter server.
+
+Wraps :class:`~repro.core.tracker.ModelDifferenceTracker` with the paper's
+two downstream modes:
+
+* ``difference`` — DGS / GD-async / DGC-async: reply with the sparse model
+  difference ``G_k`` (Algorithm 2), optionally secondary-compressed;
+* ``model`` — vanilla ASGD: reply with the full dense global model.
+
+Thread-safe: :meth:`handle` takes an internal lock, so the threaded trainer
+exercises genuine HOGWILD-style contention while state stays consistent.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from ..compression.base import Sparsifier
+from ..compression.stats import CompressionStats
+from ..compression.topk import TopKSparsifier
+from ..core.tracker import ModelDifferenceTracker
+from ..metrics.meters import AverageMeter
+from .messages import DiffMessage, GradientMessage, ModelMessage
+
+__all__ = ["ParameterServer"]
+
+
+def _scale_payload(payload, factor: float):
+    """Scale a per-layer update by ``factor`` without mutating the original."""
+    from ..compression.coding import SparseTensor
+
+    out = OrderedDict()
+    for name, layer in payload.items():
+        if isinstance(layer, SparseTensor):
+            out[name] = SparseTensor(layer.indices, layer.values * factor, layer.shape)
+        elif isinstance(layer, np.ndarray):
+            out[name] = layer * factor
+        else:  # quantised payloads: materialise and scale
+            out[name] = layer.to_dense() * factor
+    return out
+
+
+class ParameterServer:
+    """PS node: applies worker updates, answers with model state."""
+
+    def __init__(
+        self,
+        theta0: "Mapping[str, np.ndarray]",
+        num_workers: int,
+        downstream: str = "difference",
+        secondary_ratio: float | None = None,
+        secondary_min_sparse_size: int = 256,
+        staleness_damping: bool = False,
+    ) -> None:
+        if downstream not in ("difference", "model"):
+            raise ValueError(f"downstream must be 'difference' or 'model', got {downstream!r}")
+        self.theta0 = OrderedDict((k, v.copy()) for k, v in theta0.items())
+        shapes = OrderedDict((k, v.shape) for k, v in theta0.items())
+        secondary: Sparsifier | None = (
+            TopKSparsifier(secondary_ratio, min_sparse_size=secondary_min_sparse_size)
+            if secondary_ratio is not None
+            else None
+        )
+        self.downstream = downstream
+        self.tracker = ModelDifferenceTracker(
+            shapes,
+            num_workers,
+            secondary=secondary,
+            track_differences=(downstream == "difference"),
+        )
+        self.stats = CompressionStats()
+        self.staleness_meter = AverageMeter("staleness")
+        #: gap-aware mitigation (Barkai et al., the paper's [4]): scale an
+        #: incoming update by 1/(staleness + 1) before applying it, damping
+        #: the implicit momentum that asynchrony introduces.
+        self.staleness_damping = staleness_damping
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: GradientMessage) -> "DiffMessage | ModelMessage":
+        """Process one upstream gradient message and build the reply."""
+        with self._lock:
+            staleness = self.tracker.staleness(msg.worker_id)
+            self.staleness_meter.update(staleness)
+            payload = msg.payload
+            if self.staleness_damping and staleness > 0:
+                payload = _scale_payload(payload, 1.0 / (staleness + 1))
+            t = self.tracker.apply_update(payload)
+            self.stats.record_upload(msg.nbytes(), msg.dense_nbytes())
+
+            if self.downstream == "difference":
+                diff = self.tracker.model_difference(msg.worker_id)
+                reply: DiffMessage | ModelMessage = DiffMessage(
+                    msg.worker_id, diff, t, staleness
+                )
+            else:
+                model = self.tracker.global_model(self.theta0)
+                # ASGD still advances prev(k): the worker now holds θ_t.
+                self.tracker.prev[msg.worker_id] = t
+                reply = ModelMessage(msg.worker_id, model, t, staleness)
+            self.stats.record_download(reply.nbytes(), reply.dense_nbytes())
+            return reply
+
+    # ------------------------------------------------------------------
+    def global_model(self) -> "OrderedDict[str, np.ndarray]":
+        """Materialise θ_t = θ_0 + M_t for evaluation (thread-safe)."""
+        with self._lock:
+            return self.tracker.global_model(self.theta0)
+
+    @property
+    def timestamp(self) -> int:
+        return self.tracker.t
+
+    def server_state_bytes(self) -> int:
+        """Server memory: M + all v_k (+ θ0 kept for evaluation)."""
+        return self.tracker.server_state_bytes() + sum(a.nbytes for a in self.theta0.values())

@@ -1,0 +1,152 @@
+"""Real-thread asynchronous trainer.
+
+Each worker runs in its own OS thread against a lock-protected
+:class:`ParameterServer` — the genuine HOGWILD-style asynchrony of the
+paper's testbed (workers exchange at their own pace; interleavings are
+non-deterministic).  Used by integration tests and the quickstart; the
+wall-clock experiments use ``repro.sim`` where time is modelled instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec, get_method
+from ..data.loader import DataLoader
+from ..data.synthetic import Dataset
+from ..metrics.curves import Curve
+from ..metrics.evaluation import evaluate_params
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from .server import ParameterServer
+from .worker import WorkerNode
+
+__all__ = ["ThreadedTrainer", "ThreadedResult"]
+
+
+@dataclass
+class ThreadedResult:
+    """Outcome of a threaded training run."""
+
+    final_accuracy: float
+    final_loss: float
+    loss_curve: Curve
+    server_timestamp: int
+    mean_staleness: float
+    upload_bytes: int
+    download_bytes: int
+    errors: list[BaseException] = field(default_factory=list)
+
+
+class ThreadedTrainer:
+    """Runs ``num_workers`` threads of asynchronous training to completion."""
+
+    def __init__(
+        self,
+        method: "MethodSpec | str",
+        model_factory: Callable[[], Module],
+        dataset: Dataset,
+        num_workers: int,
+        batch_size: int,
+        iterations_per_worker: int,
+        hyper: Hyper | None = None,
+        schedule: Schedule | None = None,
+        secondary_compression: bool | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.method = get_method(method) if isinstance(method, str) else method
+        if not self.method.distributed:
+            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
+        self.hyper = hyper if hyper is not None else Hyper()
+        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.dataset = dataset
+        self.num_workers = num_workers
+        self.iterations_per_worker = iterations_per_worker
+
+        loader = DataLoader(dataset, batch_size, seed=seed)
+        self.eval_model = model_factory()
+        theta0 = parameters_of(self.eval_model)
+        shapes = {name: arr.shape for name, arr in theta0.items()}
+
+        use_secondary = (
+            self.method.secondary_default if secondary_compression is None else secondary_compression
+        )
+        secondary = (
+            self.hyper.secondary_ratio
+            if (self.method.downstream == "difference" and use_secondary)
+            else None
+        )
+        self.server = ParameterServer(
+            theta0,
+            num_workers,
+            downstream=self.method.downstream,
+            secondary_ratio=secondary,
+            secondary_min_sparse_size=self.hyper.min_sparse_size,
+        )
+        self.workers: list[WorkerNode] = []
+        for w in range(num_workers):
+            model = model_factory()
+            # All replicas start from the same θ0.
+            for (name, p), src in zip(model.named_parameters(), theta0.values()):
+                np.copyto(p.data, src)
+            self.workers.append(
+                WorkerNode(
+                    w,
+                    model,
+                    loader.worker_iterator(w, num_workers),
+                    self.method.make_strategy(shapes, self.hyper),
+                    schedule=self.schedule,
+                )
+            )
+
+        self._loss_lock = threading.Lock()
+        self.loss_curve = Curve("loss_vs_server_step")
+        self._errors: list[BaseException] = []
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self, node: WorkerNode) -> None:
+        try:
+            for _ in range(self.iterations_per_worker):
+                msg = node.compute_step()
+                reply = self.server.handle(msg)
+                node.apply_reply(reply)
+                with self._loss_lock:
+                    # Server timestamps are unique but arrive out of order
+                    # across threads; record against a local monotone index.
+                    step = len(self.loss_curve) + 1
+                    self.loss_curve.add(step, node.last_loss)
+        except BaseException as exc:  # surface worker crashes to the caller
+            self._errors.append(exc)
+
+    def run(self) -> ThreadedResult:
+        threads = [
+            threading.Thread(target=self._worker_loop, args=(node,), name=f"worker-{node.worker_id}")
+            for node in self.workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self._errors:
+            raise RuntimeError(f"{len(self._errors)} worker(s) failed") from self._errors[0]
+
+        global_params = self.server.global_model()
+        # Borrow worker 0's replica for evaluation: its BatchNorm running
+        # statistics reflect actual training data.
+        acc, loss = evaluate_params(
+            self.workers[0].model, global_params, self.dataset.x_val, self.dataset.y_val
+        )
+        return ThreadedResult(
+            final_accuracy=acc,
+            final_loss=loss,
+            loss_curve=self.loss_curve,
+            server_timestamp=self.server.timestamp,
+            mean_staleness=self.server.staleness_meter.avg,
+            upload_bytes=self.server.stats.upload_bytes,
+            download_bytes=self.server.stats.download_bytes,
+        )

@@ -1,0 +1,101 @@
+"""Worker node: local model replica + gradient computation + strategy.
+
+Implements the worker loops of Algorithms 1 and 3: download → apply →
+sample → backward → compress → upload.  The same class is driven by both
+the threaded trainer (real time) and the event-driven simulator (virtual
+time) — only the scheduling differs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..core.layerops import gradients_of
+from ..core.methods import Hyper, MethodSpec
+from ..core.strategies import WorkerStrategy
+from ..data.loader import BatchIterator
+from ..nn.loss import cross_entropy
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from .messages import DiffMessage, GradientMessage, ModelMessage
+
+__all__ = ["WorkerNode"]
+
+
+class WorkerNode:
+    """One asynchronous training worker (worker ``k`` of the paper)."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        model: Module,
+        batches: BatchIterator,
+        strategy: WorkerStrategy,
+        schedule: "Schedule | None" = None,
+        loss_fn: Callable[[Tensor, np.ndarray], Tensor] = cross_entropy,
+    ) -> None:
+        self.worker_id = worker_id
+        self.model = model
+        self.batches = batches
+        self.strategy = strategy
+        self.schedule = schedule if schedule is not None else ConstantLR(0.1)
+        self.loss_fn = loss_fn
+        self.iteration = 0
+        self.last_loss: float = float("nan")
+        self.samples_processed = 0
+        self._params = dict(model.named_parameters())
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> float:
+        """Local epoch (fractional) — drives the LR schedule."""
+        return self.batches.batches_served / max(self.batches.batches_per_epoch, 1)
+
+    def current_lr(self) -> float:
+        return self.schedule(self.epoch)
+
+    # ------------------------------------------------------------------
+    def compute_step(self) -> GradientMessage:
+        """Run one forward/backward pass and build the upload message."""
+        x, y = self.batches.next_batch()
+        logits = self.model(Tensor(x))
+        loss = self.loss_fn(logits, y)
+        self.model.zero_grad()
+        loss.backward()
+        self.last_loss = float(loss.data)
+        self.samples_processed += len(x)
+
+        grads = gradients_of(self.model)
+        lr = self.current_lr()
+        payload = self.strategy.prepare(grads, lr)
+        self.strategy.on_iteration()
+        msg = GradientMessage(self.worker_id, payload, self.iteration)
+        self.iteration += 1
+        return msg
+
+    def apply_reply(self, reply: "DiffMessage | ModelMessage") -> None:
+        """Update the local model from the server's answer.
+
+        * :class:`DiffMessage`: ``θ ← θ + G`` (the ``SGD(θ, decode(G))`` of
+          Algorithms 1/3 — G is a ready-to-apply delta);
+        * :class:`ModelMessage`: replace the local model (vanilla ASGD).
+        """
+        if isinstance(reply, DiffMessage):
+            for name, layer in reply.payload.items():
+                if isinstance(layer, np.ndarray):  # decoded dense layers
+                    self._params[name].data += layer
+                else:
+                    layer.add_into(self._params[name].data)
+        elif isinstance(reply, ModelMessage):
+            for name, arr in reply.payload.items():
+                np.copyto(self._params[name].data, arr)
+        else:
+            raise TypeError(f"unexpected reply type {type(reply).__name__}")
+
+    # ------------------------------------------------------------------
+    def worker_state_bytes(self) -> int:
+        """Strategy buffer memory at this worker (§5.6.2 accounting)."""
+        return self.strategy.state_bytes()

@@ -1,0 +1,22 @@
+"""Event-driven cluster simulator (virtual clock + network model)."""
+
+from .analysis import PerfPrediction, predict
+from .cluster import ClusterConfig, ComputeModel
+from .engine import SimResult, SimulatedTrainer
+from .network import GBPS, MBPS, LinkModel, SharedLink
+from .sync import SyncResult, SynchronousTrainer
+
+__all__ = [
+    "predict",
+    "PerfPrediction",
+    "SynchronousTrainer",
+    "SyncResult",
+    "LinkModel",
+    "SharedLink",
+    "GBPS",
+    "MBPS",
+    "ClusterConfig",
+    "ComputeModel",
+    "SimulatedTrainer",
+    "SimResult",
+]

@@ -1,0 +1,89 @@
+"""Cluster configuration for the event-driven simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import LinkModel
+
+__all__ = ["ClusterConfig", "ComputeModel"]
+
+
+@dataclass
+class ComputeModel:
+    """Per-iteration compute time: lognormal jitter around a mean, with
+    optional per-worker heterogeneity (stragglers)."""
+
+    mean_s: float = 0.1
+    jitter: float = 0.05  # std of the lognormal in log-space
+    heterogeneity: float = 0.0  # per-worker speed spread (0 = homogeneous)
+
+    def __post_init__(self) -> None:
+        if self.mean_s <= 0:
+            raise ValueError("mean_s must be positive")
+        if self.jitter < 0 or self.heterogeneity < 0:
+            raise ValueError("jitter/heterogeneity must be non-negative")
+
+    def worker_speed_factors(self, num_workers: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-worker multiplicative speed factors (1.0 ± heterogeneity)."""
+        if self.heterogeneity == 0:
+            return np.ones(num_workers)
+        return np.exp(rng.normal(0.0, self.heterogeneity, size=num_workers))
+
+    def sample(self, rng: np.random.Generator, speed_factor: float = 1.0) -> float:
+        base = self.mean_s * speed_factor
+        if self.jitter == 0:
+            return base
+        return float(base * np.exp(rng.normal(0.0, self.jitter)))
+
+
+@dataclass
+class ClusterConfig:
+    """Everything the simulator needs to know about the 'hardware'."""
+
+    num_workers: int = 4
+    compute: ComputeModel = field(default_factory=ComputeModel)
+    uplink: LinkModel = field(default_factory=lambda: LinkModel.gbps(10))
+    downlink: LinkModel = field(default_factory=lambda: LinkModel.gbps(10))
+    server_overhead_s: float = 1e-4  # per-message server processing time
+    #: multiply every wire byte count by this factor.  Used to emulate the
+    #: paper's ResNet-18 (≈46 MB dense) while computing with a micro model:
+    #: compression *ratios* are unchanged, absolute transfer times match the
+    #: deployment being modelled (DESIGN.md §2).
+    wire_scale: float = 1.0
+    #: 'full' — uplink and downlink are independent (full-duplex NIC);
+    #: 'half' — both directions share one FIFO resource, which is how the
+    #: paper's saturated server behaves (TCP incast + single NIC + server
+    #: CPU all serialise).  The Fig. 5/6 presets use 'half'.
+    duplex: str = "full"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.server_overhead_s < 0:
+            raise ValueError("server_overhead_s must be non-negative")
+        if self.wire_scale <= 0:
+            raise ValueError("wire_scale must be positive")
+        if self.duplex not in ("full", "half"):
+            raise ValueError(f"duplex must be 'full' or 'half', got {self.duplex!r}")
+
+    @staticmethod
+    def with_bandwidth(
+        num_workers: int,
+        gbps: float,
+        compute_mean_s: float = 0.1,
+        seed: int = 0,
+        **kwargs,
+    ) -> "ClusterConfig":
+        """Convenience: symmetric server link at ``gbps`` Gb/s."""
+        return ClusterConfig(
+            num_workers=num_workers,
+            compute=ComputeModel(mean_s=compute_mean_s),
+            uplink=LinkModel.gbps(gbps),
+            downlink=LinkModel.gbps(gbps),
+            seed=seed,
+            **kwargs,
+        )

@@ -1,0 +1,289 @@
+"""Event-driven simulator for asynchronous PS training.
+
+Runs *real* training (actual forward/backward passes, actual compression)
+under a *virtual* clock: compute times are drawn from the cluster's compute
+model and message transfer times follow byte-accurate wire sizes through
+the shared server link (``repro.sim.network``).  Gradient staleness arises
+naturally from the event ordering, exactly as on the paper's testbed.
+
+Correctness of the chronology: worker lifecycles are strictly sequential
+(compute → upload → server → download), the uplink is FIFO, and the event
+heap pops upload-ready events in time order — so server updates are applied
+in the order they would arrive on the wire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec, get_method
+from ..data.loader import DataLoader
+from ..data.synthetic import Dataset
+from ..metrics.curves import Curve
+from ..metrics.evaluation import evaluate_params
+from ..metrics.meters import EMAMeter
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from ..ps.server import ParameterServer
+from ..ps.worker import WorkerNode
+from .cluster import ClusterConfig
+from .network import SharedLink
+
+__all__ = ["SimulatedTrainer", "SimResult", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One worker↔server exchange in the virtual timeline (record_trace)."""
+
+    worker: int
+    local_iteration: int
+    ready_t: float  # gradient finished computing
+    up_start: float  # upload began transmitting
+    up_end: float  # upload fully received
+    server_t: float  # server applied the update
+    down_end: float  # download fully received at the worker
+    staleness: int
+    up_bytes: int  # unscaled message bytes
+    down_bytes: int
+
+
+@dataclass
+class SimResult:
+    """Everything a benchmark needs from one simulated run."""
+
+    method: str
+    num_workers: int
+    final_accuracy: float
+    final_loss: float
+    loss_vs_step: Curve
+    loss_vs_time: Curve
+    acc_vs_step: Curve
+    makespan_s: float
+    total_iterations: int
+    samples_processed: int
+    mean_staleness: float
+    upload_bytes: int
+    download_bytes: int
+    upload_dense_bytes: int
+    download_dense_bytes: int
+    uplink_utilisation: float
+    downlink_utilisation: float
+    server_state_bytes: int
+    worker_state_bytes: int
+    trace: "list[TraceEvent] | None" = None
+
+    @property
+    def throughput(self) -> float:
+        """Training throughput in samples per virtual second."""
+        return self.samples_processed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        dense = self.upload_dense_bytes + self.download_dense_bytes
+        actual = self.upload_bytes + self.download_bytes
+        return dense / actual if actual else 1.0
+
+
+class SimulatedTrainer:
+    """Simulate one asynchronous training run of ``method`` on ``dataset``."""
+
+    def __init__(
+        self,
+        method: "MethodSpec | str",
+        model_factory: Callable[[], Module],
+        dataset: Dataset,
+        cluster: ClusterConfig,
+        batch_size: int,
+        total_iterations: int,
+        hyper: Hyper | None = None,
+        schedule: Schedule | None = None,
+        secondary_compression: bool | None = None,
+        eval_every: int | None = None,
+        staleness_damping: bool = False,
+        fail_at: "dict[int, int] | None" = None,
+        record_trace: bool = False,
+        logger: "object | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.method = get_method(method) if isinstance(method, str) else method
+        if not self.method.distributed:
+            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
+        if total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+        self.hyper = hyper if hyper is not None else Hyper()
+        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.dataset = dataset
+        self.cluster = cluster
+        self.batch_size = batch_size
+        self.total_iterations = total_iterations
+        self.eval_every = eval_every
+        #: failure injection: worker id -> local iteration at which it
+        #: crashes (stops producing updates; its server-side v_k persists).
+        self.fail_at = fail_at or {}
+        self.record_trace = record_trace
+        #: optional repro.metrics.runlog.RunLogger for per-step telemetry
+        self.logger = logger
+        self._rng = np.random.default_rng(cluster.seed * 7919 + seed)
+
+        num_workers = cluster.num_workers
+        loader = DataLoader(dataset, batch_size, seed=seed)
+        ref_model = model_factory()
+        theta0 = parameters_of(ref_model)
+        shapes = {name: arr.shape for name, arr in theta0.items()}
+
+        use_secondary = (
+            self.method.secondary_default if secondary_compression is None else secondary_compression
+        )
+        secondary = (
+            self.hyper.secondary_ratio
+            if (self.method.downstream == "difference" and use_secondary)
+            else None
+        )
+        self.server = ParameterServer(
+            theta0,
+            num_workers,
+            downstream=self.method.downstream,
+            secondary_ratio=secondary,
+            secondary_min_sparse_size=self.hyper.min_sparse_size,
+            staleness_damping=staleness_damping,
+        )
+        self.workers: list[WorkerNode] = []
+        for w in range(num_workers):
+            model = ref_model if w == 0 else model_factory()
+            for (name, p), src in zip(model.named_parameters(), theta0.values()):
+                np.copyto(p.data, src)
+            self.workers.append(
+                WorkerNode(
+                    w,
+                    model,
+                    loader.worker_iterator(w, num_workers),
+                    self.method.make_strategy(shapes, self.hyper),
+                    schedule=self.schedule,
+                )
+            )
+
+        self.uplink = SharedLink(cluster.uplink)
+        # Half-duplex: both directions contend for the same FIFO resource.
+        self.downlink = self.uplink if cluster.duplex == "half" else SharedLink(cluster.downlink)
+        self._speed = cluster.compute.worker_speed_factors(num_workers, self._rng)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        cluster = self.cluster
+        compute = cluster.compute
+        loss_vs_step = Curve("loss_vs_step")
+        loss_vs_time = Curve("loss_vs_time")
+        acc_vs_step = Curve("acc_vs_step")
+        loss_ema = EMAMeter(beta=0.9)
+
+        # Event heap: (upload_ready_time, tiebreak, worker_id).
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        for node in self.workers:
+            t0 = compute.sample(self._rng, self._speed[node.worker_id])
+            heapq.heappush(heap, (t0, seq, node.worker_id))
+            seq += 1
+
+        server_free = 0.0
+        makespan = 0.0
+        applied = 0
+        trace: "list[TraceEvent] | None" = [] if self.record_trace else None
+        while heap and applied < self.total_iterations:
+            ready_t, _, wid = heapq.heappop(heap)
+            node = self.workers[wid]
+            if node.iteration >= self.fail_at.get(wid, np.inf):
+                continue  # injected crash: the in-flight update is lost
+
+            msg = node.compute_step()
+            wire = cluster.wire_scale
+            start_up, end_up = self.uplink.reserve(ready_t, int(msg.nbytes() * wire))
+            s_start = max(end_up, server_free)
+            s_end = s_start + cluster.server_overhead_s
+            server_free = s_end
+
+            reply = self.server.handle(msg)
+            _, end_down = self.downlink.reserve(s_end, int(reply.nbytes() * wire))
+            node.apply_reply(reply)
+            if trace is not None:
+                trace.append(
+                    TraceEvent(
+                        worker=wid,
+                        local_iteration=node.iteration - 1,
+                        ready_t=ready_t,
+                        up_start=start_up,
+                        up_end=end_up,
+                        server_t=s_end,
+                        down_end=end_down,
+                        staleness=reply.staleness,
+                        up_bytes=msg.nbytes(),
+                        down_bytes=reply.nbytes(),
+                    )
+                )
+
+            applied += 1
+            makespan = s_end
+            smoothed = loss_ema.update(node.last_loss)
+            loss_vs_step.add(applied, smoothed)
+            loss_vs_time.add(s_end, smoothed)
+            if self.logger is not None:
+                self.logger.log_step(
+                    applied,
+                    node.last_loss,
+                    time_s=s_end,
+                    worker=wid,
+                    staleness=reply.staleness,
+                    up_bytes=msg.nbytes(),
+                    down_bytes=reply.nbytes(),
+                )
+            if self.eval_every is not None and applied % self.eval_every == 0:
+                acc, _ = self._evaluate_global()
+                acc_vs_step.add(applied, acc)
+
+            if applied + len(heap) < self.total_iterations:
+                next_ready = end_down + compute.sample(self._rng, self._speed[wid])
+                heapq.heappush(heap, (next_ready, seq, wid))
+                seq += 1
+
+        final_acc, final_loss = self._evaluate_global()
+        if self.eval_every is not None and (not len(acc_vs_step) or acc_vs_step.xs[-1] < applied):
+            acc_vs_step.add(applied, final_acc)
+
+        return SimResult(
+            method=self.method.name,
+            num_workers=cluster.num_workers,
+            final_accuracy=final_acc,
+            final_loss=final_loss,
+            loss_vs_step=loss_vs_step,
+            loss_vs_time=loss_vs_time,
+            acc_vs_step=acc_vs_step,
+            makespan_s=makespan,
+            total_iterations=applied,
+            samples_processed=sum(n.samples_processed for n in self.workers),
+            mean_staleness=self.server.staleness_meter.avg,
+            upload_bytes=self.server.stats.upload_bytes,
+            download_bytes=self.server.stats.download_bytes,
+            upload_dense_bytes=self.server.stats.upload_dense_bytes,
+            download_dense_bytes=self.server.stats.download_dense_bytes,
+            uplink_utilisation=self.uplink.utilisation(makespan),
+            downlink_utilisation=self.downlink.utilisation(makespan),
+            server_state_bytes=self.server.server_state_bytes(),
+            worker_state_bytes=sum(n.worker_state_bytes() for n in self.workers),
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _evaluate_global(self) -> tuple[float, float]:
+        """Accuracy/loss of θ_0 + M on the validation split.
+
+        Worker 0's replica supplies BatchNorm running statistics (they are
+        trained locally and are not part of the PS exchange)."""
+        params = self.server.global_model()
+        return evaluate_params(
+            self.workers[0].model, params, self.dataset.x_val, self.dataset.y_val
+        )

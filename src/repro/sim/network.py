@@ -1,0 +1,70 @@
+"""Network model: bandwidth, latency, and the shared server link.
+
+The paper's testbed bottleneck is the server NIC (10 Gbps, reduced to
+1 Gbps in §5.5).  We model each direction of the server link as a shared
+FIFO resource: a transfer occupies the link for ``bytes / bandwidth``
+seconds after a fixed per-message latency, and concurrent transfers queue.
+This is what makes dense ASGD stop scaling — exactly the phenomenon
+Figures 5 and 6 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LinkModel", "SharedLink", "GBPS", "MBPS"]
+
+GBPS = 1e9 / 8  # bytes per second at 1 Gbps
+MBPS = 1e6 / 8
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Point-to-point link parameters."""
+
+    bandwidth_bytes_per_s: float
+    latency_s: float = 100e-6  # LAN-scale per-message latency
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Serialisation + propagation time for one message."""
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s
+
+    @staticmethod
+    def gbps(gbits: float, latency_s: float = 100e-6) -> "LinkModel":
+        return LinkModel(gbits * GBPS, latency_s)
+
+
+@dataclass
+class SharedLink:
+    """A FIFO-shared link (one direction of the server NIC).
+
+    ``reserve`` must be called in nondecreasing ``ready_time`` order — the
+    event-driven engine guarantees this by processing events chronologically.
+    """
+
+    model: LinkModel
+    free_at: float = 0.0
+    busy_time: float = field(default=0.0)
+    transfers: int = 0
+
+    def reserve(self, ready_time: float, nbytes: int) -> tuple[float, float]:
+        """Queue a transfer that is ready at ``ready_time``; return (start, end)."""
+        if ready_time < 0:
+            raise ValueError("ready_time must be non-negative")
+        start = max(ready_time, self.free_at)
+        duration = self.model.transfer_time(nbytes)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.transfers += 1
+        return start, end
+
+    def utilisation(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the link spent busy."""
+        return self.busy_time / horizon if horizon > 0 else 0.0

@@ -1,0 +1,191 @@
+"""Synchronous data-parallel SGD (SSGD) on the simulated cluster.
+
+The paper frames DGS against the synchronous world (§2, §3.1): Gradient
+Dropping and DGC were designed for SSGD, whose barrier makes every round as
+slow as its slowest worker ("worker lags", §1).  This trainer provides that
+reference point on the same simulator, and — per the paper's conclusion
+that "SAMomentum is a general design and can be used to design new
+synchronization training approaches" (§6) — it accepts any worker strategy,
+including SAMomentum, giving the synchronous-DGS variant.
+
+Semantics per round: every worker computes gradients on the *same* model
+version, transforms them through its strategy, the server sums the updates
+(Eq. 7) and applies them once, then broadcasts the (dense) aggregated
+update.  Virtual time per round = straggler compute time + serialised
+uploads + server step + serialised per-worker downloads, all through the
+shared link model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..compression.coding import SparseTensor
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec, get_method
+from ..data.loader import DataLoader
+from ..data.synthetic import Dataset
+from ..metrics.curves import Curve
+from ..metrics.evaluation import evaluate_model
+from ..metrics.meters import EMAMeter
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+from ..ps.messages import payload_dense_nbytes
+from ..ps.worker import WorkerNode
+from .cluster import ClusterConfig
+from .network import SharedLink
+
+__all__ = ["SynchronousTrainer", "SyncResult"]
+
+
+@dataclass
+class SyncResult:
+    """Outcome of one synchronous training run."""
+
+    method: str
+    num_workers: int
+    final_accuracy: float
+    final_loss: float
+    loss_vs_step: Curve
+    loss_vs_time: Curve
+    makespan_s: float
+    rounds: int
+    samples_processed: int
+    upload_bytes: int
+    download_bytes: int
+    straggler_time_s: float  # time lost waiting at the barrier
+
+    @property
+    def throughput(self) -> float:
+        return self.samples_processed / self.makespan_s if self.makespan_s > 0 else 0.0
+
+
+class SynchronousTrainer:
+    """Barrier-synchronised data-parallel training on the virtual cluster."""
+
+    def __init__(
+        self,
+        method: "MethodSpec | str",
+        model_factory: Callable[[], Module],
+        dataset: Dataset,
+        cluster: ClusterConfig,
+        batch_size: int,
+        rounds: int,
+        hyper: Hyper | None = None,
+        schedule: Schedule | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.method = get_method(method) if isinstance(method, str) else method
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.hyper = hyper if hyper is not None else Hyper()
+        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.dataset = dataset
+        self.cluster = cluster
+        self.rounds = rounds
+        self._rng = np.random.default_rng(cluster.seed * 104729 + seed)
+
+        n = cluster.num_workers
+        loader = DataLoader(dataset, batch_size, seed=seed)
+        self.model = model_factory()
+        theta0 = parameters_of(self.model)
+        shapes = {k: v.shape for k, v in theta0.items()}
+        self.workers = [
+            WorkerNode(
+                w,
+                self.model,  # all workers share the single global model
+                loader.worker_iterator(w, n),
+                self.method.make_strategy(shapes, self.hyper),
+                schedule=self.schedule,
+            )
+            for w in range(n)
+        ]
+        self.uplink = SharedLink(cluster.uplink)
+        self.downlink = self.uplink if cluster.duplex == "half" else SharedLink(cluster.downlink)
+        self._speed = cluster.compute.worker_speed_factors(n, self._rng)
+        self._params = dict(self.model.named_parameters())
+
+    # ------------------------------------------------------------------
+    def run(self) -> SyncResult:
+        cluster = self.cluster
+        n = cluster.num_workers
+        wire = cluster.wire_scale
+        loss_vs_step = Curve("loss_vs_step")
+        loss_vs_time = Curve("loss_vs_time")
+        ema = EMAMeter(beta=0.9)
+
+        clock = 0.0
+        straggler_lost = 0.0
+        upload_bytes = 0
+        download_bytes = 0
+        samples = 0
+
+        for rnd in range(1, self.rounds + 1):
+            # 1) Barriered compute: the round waits for the slowest worker.
+            times = [
+                cluster.compute.sample(self._rng, self._speed[w]) for w in range(n)
+            ]
+            compute_end = clock + max(times)
+            # Per-worker time wasted waiting at the barrier this round.
+            straggler_lost += max(times) - sum(times) / n
+
+            # 2) Every worker computes on the same model version.
+            msgs = [node.compute_step() for node in self.workers]
+            samples = sum(node.samples_processed for node in self.workers)
+
+            # 3) Serialised uploads through the shared link.
+            t = compute_end
+            for msg in msgs:
+                _, t = self.uplink.reserve(t, int(msg.nbytes() * wire))
+                upload_bytes += msg.nbytes()
+            t += cluster.server_overhead_s
+
+            # 4) Aggregate and apply to the global model.  Eq. (7) SUMS the
+            # per-worker updates (θ_{t+1} = θ_t − Σ_k η∇_k): one round does
+            # the optimisation work of N sequential steps, which is what
+            # makes the barrier comparison against N async updates fair.
+            mean_loss = float(np.mean([node.last_loss for node in self.workers]))
+            agg: "OrderedDict[str, np.ndarray]" = OrderedDict()
+            for name, p in self._params.items():
+                agg[name] = np.zeros_like(p.data)
+            for msg in msgs:
+                for name, layer in msg.payload.items():
+                    if isinstance(layer, SparseTensor):
+                        layer.add_into(agg[name])
+                    elif hasattr(layer, "to_dense"):
+                        agg[name] += layer.to_dense()
+                    else:
+                        agg[name] += layer
+            for name, p in self._params.items():
+                p.data -= agg[name]
+
+            # 5) Broadcast the dense aggregated update, one transfer/worker.
+            bcast_bytes = payload_dense_nbytes(agg)
+            for _ in range(n):
+                _, t = self.downlink.reserve(t, int(bcast_bytes * wire))
+                download_bytes += bcast_bytes
+
+            clock = t
+            smoothed = ema.update(mean_loss)
+            loss_vs_step.add(rnd, smoothed)
+            loss_vs_time.add(clock, smoothed)
+
+        acc, loss = evaluate_model(self.model, self.dataset.x_val, self.dataset.y_val)
+        return SyncResult(
+            method=self.method.name,
+            num_workers=n,
+            final_accuracy=acc,
+            final_loss=loss,
+            loss_vs_step=loss_vs_step,
+            loss_vs_time=loss_vs_time,
+            makespan_s=clock,
+            rounds=self.rounds,
+            samples_processed=samples,
+            upload_bytes=upload_bytes,
+            download_bytes=download_bytes,
+            straggler_time_s=straggler_lost,
+        )

@@ -1,0 +1,93 @@
+"""Reduction ops: sum, mean, max, logsumexp."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+
+
+def t(rng, *shape):
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSum:
+    def test_sum_all(self, rng):
+        a = t(rng, 3, 4)
+        assert gradcheck(lambda a: a.sum(), [a])
+
+    def test_sum_axis(self, rng):
+        a = t(rng, 3, 4)
+        assert gradcheck(lambda a: (a.sum(axis=0) ** 2).sum(), [a])
+
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng, 3, 4)
+        out = a.sum(axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+        assert gradcheck(lambda a: (a.sum(axis=1, keepdims=True) ** 2).sum(), [a])
+
+    def test_sum_multi_axis(self, rng):
+        a = t(rng, 2, 3, 4)
+        out = a.sum(axis=(0, 2))
+        assert out.shape == (3,)
+        assert gradcheck(lambda a: (a.sum(axis=(0, 2)) ** 2).sum(), [a])
+
+    def test_sum_negative_axis(self, rng):
+        a = t(rng, 2, 3)
+        assert a.sum(axis=-1).shape == (2,)
+
+
+class TestMean:
+    def test_mean_all(self, rng):
+        a = t(rng, 4, 4)
+        np.testing.assert_allclose(a.mean().data, a.data.mean())
+        assert gradcheck(lambda a: a.mean(), [a])
+
+    def test_mean_axis(self, rng):
+        a = t(rng, 3, 5)
+        assert gradcheck(lambda a: (a.mean(axis=0) ** 2).sum(), [a])
+
+    def test_mean_tuple_axis(self, rng):
+        a = t(rng, 2, 3, 4)
+        np.testing.assert_allclose(a.mean(axis=(0, 2)).data, a.data.mean(axis=(0, 2)))
+
+
+class TestMax:
+    def test_max_all(self, rng):
+        a = t(rng, 3, 4)
+        np.testing.assert_allclose(a.max().data, a.data.max())
+
+    def test_max_grad_routes_to_argmax(self):
+        a = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 0])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+    def test_max_axis(self, rng):
+        a = t(rng, 4, 6)
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+        assert gradcheck(lambda a: (a.max(axis=1) ** 2).sum(), [a], atol=1e-4)
+
+    def test_max_axis_keepdims(self, rng):
+        a = t(rng, 4, 6)
+        assert a.max(axis=0, keepdims=True).shape == (1, 6)
+
+
+class TestLogSumExp:
+    def test_matches_numpy(self, rng):
+        a = t(rng, 3, 7)
+        expected = np.log(np.exp(a.data).sum(axis=1))
+        np.testing.assert_allclose(a.logsumexp(axis=1).data, expected, atol=1e-10)
+
+    def test_stable_for_large_inputs(self):
+        a = Tensor(np.array([[1000.0, 1000.0]]), requires_grad=True)
+        out = a.logsumexp(axis=1)
+        assert np.isfinite(out.data).all()
+        np.testing.assert_allclose(out.data, [1000.0 + np.log(2)])
+
+    def test_grad(self, rng):
+        a = t(rng, 2, 5)
+        assert gradcheck(lambda a: a.logsumexp(axis=1).sum(), [a], atol=1e-4)

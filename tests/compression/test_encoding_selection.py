@@ -1,0 +1,67 @@
+"""Density-regime behaviour of the full DGS communication path.
+
+These tests pin the systems-level claim behind BitmapTensor/encode_best:
+the downstream model difference densifies with staleness, and the wire
+cost tracks the cheapest encoding at every density — never the naive COO.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    BitmapTensor,
+    DenseTensor,
+    SparseTensor,
+    bitmap_nbytes,
+    dense_nbytes,
+    encode_best,
+    encode_sparse,
+    sparse_nbytes,
+)
+from repro.core.tracker import ModelDifferenceTracker
+
+
+class TestDensificationPath:
+    def _tracker_after(self, rng, updates, density_per_update, n=2000):
+        tr = ModelDifferenceTracker(OrderedDict([("w", (n,))]), 2)
+        k = int(n * density_per_update)
+        for _ in range(updates):
+            arr = np.zeros(n)
+            arr[rng.choice(n, size=k, replace=False)] = rng.normal(size=k)
+            tr.apply_update(OrderedDict([("w", encode_sparse(arr))]))
+        return tr
+
+    def test_fresh_worker_gets_coo(self, rng):
+        tr = self._tracker_after(rng, updates=1, density_per_update=0.01)
+        G = tr.model_difference(0)
+        assert isinstance(G["w"], SparseTensor)
+
+    def test_stale_worker_gets_bitmap(self, rng):
+        tr = self._tracker_after(rng, updates=30, density_per_update=0.01)
+        G = tr.model_difference(0)
+        assert isinstance(G["w"], BitmapTensor)
+
+    def test_extremely_stale_worker_gets_dense(self, rng):
+        tr = self._tracker_after(rng, updates=400, density_per_update=0.01)
+        G = tr.model_difference(0)
+        assert isinstance(G["w"], DenseTensor)
+
+    @pytest.mark.parametrize("updates", [1, 10, 50, 200])
+    def test_wire_cost_never_exceeds_alternatives(self, rng, updates):
+        tr = self._tracker_after(rng, updates=updates, density_per_update=0.01)
+        G = tr.model_difference(0)["w"]
+        n = 2000
+        nnz = G.nnz
+        assert G.nbytes() == min(
+            sparse_nbytes(nnz), bitmap_nbytes(n, nnz), dense_nbytes(n)
+        )
+
+    def test_worker_reconstruction_exact_across_formats(self, rng):
+        """Whatever format ships, the worker ends at θ0 + M exactly."""
+        for updates in (1, 30, 400):
+            tr = self._tracker_after(rng, updates=updates, density_per_update=0.01)
+            theta = np.zeros(2000)
+            tr.model_difference(0)["w"].add_into(theta)
+            np.testing.assert_allclose(theta, tr.M["w"], atol=1e-12)

@@ -1,0 +1,58 @@
+"""QSGD quantiser (paper ref. [3])."""
+
+import numpy as np
+import pytest
+
+from repro.compression.qsgd import QSGDQuantizer, QSGDTensor
+
+
+class TestQuantize:
+    def test_levels_bounded(self, rng):
+        q = QSGDQuantizer(s=4, seed=0)
+        t = q.quantize(rng.normal(size=500))
+        assert np.abs(t.levels).max() <= 4
+
+    def test_unbiased(self, rng):
+        arr = rng.normal(size=40)
+        q = QSGDQuantizer(s=2, seed=0)
+        total = np.zeros_like(arr)
+        trials = 800
+        for _ in range(trials):
+            total += q.dequantize(q.quantize(arr))
+        np.testing.assert_allclose(total / trials, arr, atol=0.3)
+
+    def test_zero_vector(self):
+        q = QSGDQuantizer(s=4)
+        t = q.quantize(np.zeros(10))
+        np.testing.assert_array_equal(t.to_dense(), np.zeros(10))
+
+    def test_more_levels_less_error(self, rng):
+        arr = rng.normal(size=2000)
+
+        def mse(s):
+            q = QSGDQuantizer(s=s, seed=0)
+            return float(((q.dequantize(q.quantize(arr)) - arr) ** 2).mean())
+
+        assert mse(64) < mse(2)
+
+    def test_shape_preserved(self, rng):
+        q = QSGDQuantizer(s=4)
+        assert q.quantize(rng.normal(size=(5, 6))).to_dense().shape == (5, 6)
+
+    def test_nbytes_scales_with_levels(self):
+        t2 = QSGDTensor(np.zeros(1000, dtype=np.int32), 1.0, 1, (1000,))
+        t16 = QSGDTensor(np.zeros(1000, dtype=np.int32), 1.0, 127, (1000,))
+        assert t2.nbytes() < t16.nbytes()
+
+    def test_binary_gradient_is_32x_story(self):
+        """§2: 'even binary gradients can only achieve 32x reduced size'."""
+        from repro.compression import dense_nbytes
+
+        n = 100_000
+        ternary = QSGDTensor(np.zeros(n, dtype=np.int32), 1.0, 1, (n,))
+        ratio = dense_nbytes(n) / ternary.nbytes()
+        assert 15 < ratio < 33
+
+    def test_invalid_s(self):
+        with pytest.raises(ValueError):
+            QSGDQuantizer(s=0)

@@ -1,0 +1,42 @@
+"""Compression statistics accounting."""
+
+import pytest
+
+from repro.compression import CompressionStats
+
+
+class TestStats:
+    def test_ratios(self):
+        s = CompressionStats()
+        s.record_upload(100, 1000)
+        s.record_download(50, 1000)
+        assert s.upload_ratio == pytest.approx(10.0)
+        assert s.download_ratio == pytest.approx(20.0)
+        assert s.overall_ratio == pytest.approx(2000 / 150)
+
+    def test_empty_ratios_are_one(self):
+        s = CompressionStats()
+        assert s.upload_ratio == 1.0 and s.overall_ratio == 1.0
+
+    def test_message_counts(self):
+        s = CompressionStats()
+        s.record_upload(1, 1)
+        s.record_upload(1, 1)
+        s.record_download(1, 1)
+        assert s.upload_messages == 2 and s.download_messages == 1
+
+    def test_negative_rejected(self):
+        s = CompressionStats()
+        with pytest.raises(ValueError):
+            s.record_upload(-1, 0)
+
+    def test_merge(self):
+        a, b = CompressionStats(), CompressionStats()
+        a.record_upload(10, 100)
+        b.record_upload(20, 200)
+        b.record_download(5, 50)
+        a.merge(b)
+        assert a.upload_bytes == 30
+        assert a.download_bytes == 5
+        assert a.total_bytes == 35
+        assert a.upload_messages == 2

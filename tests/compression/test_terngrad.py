@@ -1,0 +1,53 @@
+"""TernGrad quantiser."""
+
+import numpy as np
+import pytest
+
+from repro.compression import TernGradQuantizer
+
+
+class TestQuantize:
+    def test_signs_are_ternary(self, rng):
+        q = TernGradQuantizer(seed=0, clip_sigma=None)
+        t = q.quantize(rng.normal(size=500))
+        assert set(np.unique(t.signs)).issubset({-1, 0, 1})
+
+    def test_scale_is_max_abs(self, rng):
+        arr = rng.normal(size=100)
+        q = TernGradQuantizer(seed=0, clip_sigma=None)
+        t = q.quantize(arr)
+        assert t.scale == pytest.approx(np.abs(arr).max())
+
+    def test_unbiased_expectation(self, rng):
+        arr = rng.normal(size=50)
+        q = TernGradQuantizer(seed=0, clip_sigma=None)
+        total = np.zeros_like(arr)
+        trials = 600
+        for _ in range(trials):
+            total += q.dequantize(q.quantize(arr))
+        np.testing.assert_allclose(total / trials, arr, atol=0.4)
+
+    def test_zero_input(self):
+        q = TernGradQuantizer(seed=0)
+        t = q.quantize(np.zeros(10))
+        assert t.scale == 0.0
+        np.testing.assert_array_equal(t.to_dense(), np.zeros(10))
+
+    def test_shape_restored(self, rng):
+        q = TernGradQuantizer(seed=0)
+        t = q.quantize(rng.normal(size=(4, 5)))
+        assert t.to_dense().shape == (4, 5)
+
+    def test_clipping_bounds_scale(self, rng):
+        arr = rng.normal(size=1000)
+        arr[0] = 100.0  # outlier
+        clipped = TernGradQuantizer(seed=0, clip_sigma=2.5).quantize(arr)
+        unclipped = TernGradQuantizer(seed=0, clip_sigma=None).quantize(arr)
+        assert clipped.scale < unclipped.scale
+
+    def test_nbytes_2bit(self):
+        q = TernGradQuantizer(seed=0)
+        t = q.quantize(np.ones(1000))
+        from repro.compression import HEADER_BYTES, VALUE_BYTES
+
+        assert t.nbytes() == HEADER_BYTES + VALUE_BYTES + (2000 + 7) // 8

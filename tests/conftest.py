@@ -1,0 +1,26 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_blobs
+from repro.nn import MLP
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A quickly separable 4-class dataset for end-to-end tests."""
+    return make_blobs(n_samples=400, num_classes=4, dim=12, sep=2.5, noise=0.8, seed=1)
+
+
+@pytest.fixture
+def tiny_model_factory():
+    """Deterministic small MLP factory matching tiny_dataset."""
+    return lambda: MLP(12, (24,), 4, seed=7)

@@ -1,0 +1,74 @@
+"""Cross-checks: registry flags (Table 5) must describe actual strategy behaviour."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core import Hyper, METHODS
+from repro.core.strategies import (
+    DGCStrategy,
+    DenseStrategy,
+    GradientDroppingStrategy,
+    SAMomentumStrategy,
+)
+
+SHAPES = OrderedDict([("w", (50,))])
+HYPER = Hyper(ratio=0.1, momentum=0.7, min_sparse_size=0)
+PAPER_METHODS = ("asgd", "gd_async", "dgc_async", "dgs")
+
+
+def fresh_strategy(name):
+    return METHODS[name].make_strategy(SHAPES, HYPER)
+
+
+class TestFlagsMatchBehaviour:
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_residual_accumulation_flag(self, name):
+        """'Remaining Gradients Accumulation: Y' ⇔ the strategy keeps a
+        residual that carries unsent *raw update* mass between iterations
+        (GD's r, DGC's v) — as opposed to SAMomentum's velocity-only u."""
+        spec = METHODS[name]
+        strat = fresh_strategy(name)
+        has_residual = isinstance(strat, (GradientDroppingStrategy, DGCStrategy))
+        assert spec.residual_accumulation == has_residual
+
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_momentum_flag(self, name):
+        spec = METHODS[name]
+        strat = fresh_strategy(name)
+        if spec.momentum == "N":
+            assert isinstance(strat, (DenseStrategy, GradientDroppingStrategy))
+        elif spec.momentum == "SAMomentum":
+            assert isinstance(strat, SAMomentumStrategy)
+        else:
+            assert isinstance(strat, DGCStrategy)
+
+    @pytest.mark.parametrize("name", PAPER_METHODS)
+    def test_sparsification_flag(self, name):
+        """'N' methods send dense; dual-way methods send sparse + use the
+        difference downstream."""
+        spec = METHODS[name]
+        rng = np.random.default_rng(0)
+        strat = fresh_strategy(name)
+        out = strat.prepare(OrderedDict([("w", rng.normal(size=50))]), 0.1)
+        if spec.sparsification == "N":
+            assert isinstance(out["w"], np.ndarray)
+            assert spec.downstream == "model"
+        else:
+            assert out["w"].nnz < 50
+            assert spec.downstream == "difference"
+
+    def test_momentum_correction_only_dgc(self):
+        for name in PAPER_METHODS:
+            assert METHODS[name].momentum_correction == (name == "dgc_async")
+
+    def test_dgs_memory_claim(self):
+        """§5.6.2: DGS's worker state (one buffer) < DGC's (two buffers);
+        GD's single residual equals DGS's single u."""
+        dgs = fresh_strategy("dgs").state_bytes()
+        dgc = fresh_strategy("dgc_async").state_bytes()
+        gd = fresh_strategy("gd_async").state_bytes()
+        asgd = fresh_strategy("asgd").state_bytes()
+        assert asgd == 0
+        assert dgs == gd == dgc // 2

@@ -1,0 +1,91 @@
+"""Image augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data import Augmenter, BatchIterator, random_flip, random_shift
+
+
+@pytest.fixture
+def images(rng):
+    return rng.normal(size=(32, 3, 8, 8))
+
+
+class TestRandomFlip:
+    def test_p0_is_identity(self, images, rng):
+        np.testing.assert_array_equal(random_flip(images, rng, p=0.0), images)
+
+    def test_p1_flips_all(self, images, rng):
+        out = random_flip(images, rng, p=1.0)
+        np.testing.assert_array_equal(out, images[:, :, :, ::-1])
+
+    def test_flip_is_involution(self, images, rng):
+        out = random_flip(images, rng, p=1.0)
+        again = random_flip(out, rng, p=1.0)
+        np.testing.assert_array_equal(again, images)
+
+    def test_preserves_pixel_multiset(self, images, rng):
+        out = random_flip(images, rng, p=0.5)
+        np.testing.assert_allclose(np.sort(out.reshape(-1)), np.sort(images.reshape(-1)))
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            random_flip(rng.normal(size=(4, 8)), rng)
+
+
+class TestRandomShift:
+    def test_zero_shift_identity(self, images, rng):
+        assert random_shift(images, rng, max_shift=0) is images
+
+    def test_shape_preserved(self, images, rng):
+        assert random_shift(images, rng, max_shift=2).shape == images.shape
+
+    def test_content_is_translated_window(self, rng):
+        x = np.zeros((1, 1, 4, 4))
+        x[0, 0, 1, 1] = 7.0
+        out = random_shift(x, rng, max_shift=1)
+        # the marked pixel moved at most 1 step (or fell off the edge)
+        pos = np.argwhere(out[0, 0] == 7.0)
+        if len(pos):
+            assert np.abs(pos[0] - np.array([1, 1])).max() <= 1
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            random_shift(rng.normal(size=(4, 8)), rng)
+
+
+class TestAugmenter:
+    def test_deterministic_per_seed(self, images):
+        a1, a2 = Augmenter(seed=5), Augmenter(seed=5)
+        np.testing.assert_array_equal(a1(images), a2(images))
+
+    def test_different_seeds_differ(self, images):
+        assert not np.array_equal(Augmenter(seed=1)(images), Augmenter(seed=2)(images))
+
+    def test_non_image_passthrough(self, rng):
+        flat = rng.normal(size=(16, 10))
+        aug = Augmenter()
+        np.testing.assert_array_equal(aug(flat), flat)
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            Augmenter(max_shift=-1)
+
+    def test_plugged_into_batch_iterator(self, rng):
+        x = rng.normal(size=(40, 3, 8, 8))
+        y = np.zeros(40)
+        plain = BatchIterator(x, y, 8, seed=0)
+        augmented = BatchIterator(x, y, 8, seed=0, transform=Augmenter(seed=0))
+        xa, _ = plain.next_batch()
+        xb, _ = augmented.next_batch()
+        assert xa.shape == xb.shape
+        assert not np.array_equal(xa, xb)  # flip/shift happened
+
+    def test_plugged_into_dataloader(self, rng):
+        from repro.data import DataLoader, make_image_classes
+
+        ds = make_image_classes(n_samples=60, num_classes=3, size=8, seed=0)
+        loader = DataLoader(ds, 8, seed=0, make_transform=lambda sid: Augmenter(seed=sid + 10))
+        it = loader.worker_iterator(0, 2)
+        xb, yb = it.next_batch()
+        assert xb.shape[0] == 8

@@ -1,0 +1,59 @@
+"""Dataset container semantics and generator statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, make_blobs, make_image_classes
+
+
+class TestShardEdgeCases:
+    def test_one_shard_is_identity_content(self):
+        ds = make_blobs(n_samples=50, seed=0)
+        s = ds.shard(1, 0)
+        np.testing.assert_array_equal(s.x_train, ds.x_train)
+
+    def test_more_shards_than_samples(self):
+        ds = make_blobs(n_samples=10, num_classes=2, seed=0)  # 8 train
+        shards = [ds.shard(8, i) for i in range(8)]
+        assert all(s.n_train == 1 for s in shards)
+
+    def test_shard_name_annotated(self):
+        ds = make_blobs(n_samples=40, seed=0)
+        assert "shard 2/4" in ds.shard(4, 2).name
+
+    def test_uneven_shard_sizes_differ_by_at_most_one(self):
+        ds = make_blobs(n_samples=103, seed=0)
+        sizes = [ds.shard(4, i).n_train for i in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestGeneratorStatistics:
+    def test_image_pixels_roughly_centered(self):
+        ds = make_image_classes(n_samples=300, num_classes=5, size=8, seed=0)
+        assert abs(ds.x_train.mean()) < 0.5
+        assert 0.2 < ds.x_train.std() < 5.0
+
+    def test_higher_difficulty_more_noise(self):
+        lo = make_image_classes(n_samples=200, num_classes=5, size=8, difficulty=0.5, seed=0)
+        hi = make_image_classes(n_samples=200, num_classes=5, size=8, difficulty=5.0, seed=0)
+        # same templates (same seed), more additive noise → higher variance
+        assert hi.x_train.std() > lo.x_train.std()
+
+    def test_all_classes_present_in_both_splits(self):
+        ds = make_image_classes(n_samples=500, num_classes=5, size=8, seed=1)
+        assert set(np.unique(ds.y_train)) == set(range(5))
+        assert set(np.unique(ds.y_val)) == set(range(5))
+
+    def test_val_fraction_respected(self):
+        ds = make_blobs(n_samples=200, val_fraction=0.25, seed=0)
+        assert ds.n_val == 50
+
+
+class TestDatasetValidation:
+    def test_val_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((4, 2)), np.zeros(4), np.zeros((2, 2)), np.zeros(3), 2)
+
+    def test_input_shape_multi_dim(self):
+        ds = make_image_classes(n_samples=50, num_classes=3, channels=2, size=4, seed=0)
+        assert ds.input_shape == (2, 4, 4)

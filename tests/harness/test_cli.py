@@ -1,0 +1,30 @@
+"""The python -m repro CLI."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "fig6" in out
+
+    def test_all_experiment_ids_registered(self):
+        assert {"table2", "table3", "table4", "table5", "fig2", "fig3", "fig4",
+                "fig5", "fig6", "memory"} <= set(EXPERIMENTS)
+
+    def test_run_table5(self, capsys):
+        assert main(["run", "table5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "SAMomentum" in out
+
+    def test_run_with_out_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["run", "table5", "--fast", "--out", str(out_file)]) == 0
+        assert "SAMomentum" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])

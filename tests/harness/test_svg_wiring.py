@@ -1,0 +1,18 @@
+"""Figure experiments attach SVG renderings (fast mode)."""
+
+import pytest
+
+from repro.harness import experiments as E
+
+
+@pytest.mark.slow
+class TestSvgWiring:
+    def test_fig5_svg(self):
+        rep = E.fig5_low_bandwidth.run(fast=True)
+        assert "loss_vs_time" in rep.svgs
+        assert rep.svgs["loss_vs_time"].startswith("<svg")
+
+    def test_fig6_svg(self):
+        rep = E.fig6_speedup.run(fast=True)
+        assert "speedup" in rep.svgs
+        assert "</svg>" in rep.svgs["speedup"]

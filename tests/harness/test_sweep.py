@@ -1,0 +1,55 @@
+"""Grid sweep utility."""
+
+import pytest
+
+from repro.harness import get_workload
+from repro.harness.sweep import SweepPoint, sweep
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return get_workload("blobs")
+
+
+class TestSweep:
+    def test_cartesian_grid(self, wl):
+        points = sweep(
+            wl,
+            axes={"method": ["asgd", "dgs"], "num_workers": [2, 3]},
+            base={"epochs": 1},
+            fast=True,
+        )
+        assert len(points) == 4
+        combos = {(p["method"], p["num_workers"]) for p in points}
+        assert combos == {("asgd", 2), ("asgd", 3), ("dgs", 2), ("dgs", 3)}
+
+    def test_hyper_axis_applied(self, wl):
+        points = sweep(
+            wl,
+            axes={"ratio": [0.02, 0.5]},
+            base={"epochs": 1, "min_sparse_size": 0},
+            fast=True,
+        )
+        small, large = points
+        assert small.result.upload_bytes < large.result.upload_bytes
+
+    def test_unknown_axis_rejected(self, wl):
+        with pytest.raises(ValueError):
+            sweep(wl, axes={"bogus": [1]})
+
+    def test_on_point_callback(self, wl):
+        seen = []
+        sweep(
+            wl,
+            axes={"num_workers": [2]},
+            base={"epochs": 1},
+            fast=True,
+            on_point=lambda p: seen.append(p),
+        )
+        assert len(seen) == 1
+        assert isinstance(seen[0], SweepPoint)
+
+    def test_results_carry_simresult(self, wl):
+        (point,) = sweep(wl, axes={"num_workers": [2]}, base={"epochs": 1}, fast=True)
+        assert point.result.final_accuracy >= 0.0
+        assert point.result.num_workers == 2

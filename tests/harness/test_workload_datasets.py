@@ -1,0 +1,60 @@
+"""Workload dataset calibration sanity: difficulty bands and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.harness import WORKLOADS, get_workload
+
+
+class TestWorkloadDatasets:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_dataset_deterministic(self, name):
+        wl = get_workload(name)
+        a, b = wl.dataset(fast=True), wl.dataset(fast=True)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_val_split_nonempty_and_disjoint_len(self, name):
+        wl = get_workload(name)
+        ds = wl.dataset(fast=True)
+        assert ds.n_val > 0
+        assert ds.n_train > ds.n_val
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_model_matches_dataset(self, name):
+        """The workload's model accepts the workload's inputs and emits
+        one logit per class."""
+        from repro.autograd import Tensor
+
+        wl = get_workload(name)
+        ds = wl.dataset(fast=True)
+        model = wl.model_factory(seed=0)()
+        out = model(Tensor(ds.x_train[:4]))
+        assert out.shape == (4, ds.num_classes)
+
+    def test_cifar_noise_calibration_band(self):
+        """Calibration guard: the noise-to-signal ratio must sit in the band
+        where trained models land at ~85–95% — high enough that optimiser
+        differences show, low enough that training succeeds.  (The datasets
+        are template+noise by construction, so they discriminate
+        *optimisers*, not representations — see DESIGN.md §2.)"""
+        ds = get_workload("cifar10").dataset(fast=False)
+        flat = ds.x_train.reshape(len(ds.x_train), -1)
+        centroids = np.stack(
+            [flat[ds.y_train == c].mean(axis=0) for c in range(ds.num_classes)]
+        )
+        # within-class noise vs between-class separation
+        within = np.mean(
+            [np.linalg.norm(flat[ds.y_train == c] - centroids[c], axis=1).mean()
+             for c in range(ds.num_classes)]
+        )
+        pair = [np.linalg.norm(centroids[i] - centroids[j])
+                for i in range(10) for j in range(i + 1, 10)]
+        ratio = within / np.mean(pair)
+        assert 0.8 < ratio < 3.0  # calibrated regime (difficulty=4.0)
+
+    def test_classes_balanced_enough(self):
+        ds = get_workload("cifar10").dataset(fast=True)
+        counts = np.bincount(ds.y_train, minlength=ds.num_classes)
+        assert counts.min() > 0.5 * counts.mean()

@@ -1,0 +1,123 @@
+"""End-to-end algorithmic equivalences from §4 of the paper.
+
+These are the claims the whole approach rests on:
+
+1. Eq. (5): DGS's model-difference download (no secondary compression)
+   leaves every worker with *bit-identical* parameters to vanilla ASGD's
+   download-the-whole-model, for any interleaving of workers.
+2. Eq. (16)/(17): DGS at R=100% equals momentum-ASGD; and a DGS run where
+   the upstream is never sparsified matches the corresponding dense run.
+"""
+
+import random
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core import Hyper
+from repro.core.layerops import layer_shapes, parameters_of
+from repro.core.strategies import DenseStrategy, SAMomentumStrategy
+from repro.compression import TopKSparsifier
+from repro.data import DataLoader
+from repro.nn import MLP
+from repro.ps.server import ParameterServer
+from repro.ps.worker import WorkerNode
+
+
+def build_workers(server, factory, theta0, loader, strategy_fn, n=3):
+    shapes = {k: v.shape for k, v in theta0.items()}
+    workers = []
+    for w in range(n):
+        model = factory()
+        for (name, p) in model.named_parameters():
+            np.copyto(p.data, theta0[name])
+        workers.append(WorkerNode(w, model, loader.worker_iterator(w, n), strategy_fn(shapes)))
+    return workers
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_difference_tracking_equals_model_download(tiny_dataset, tiny_model_factory, seed):
+    """Same gradient stream through both downstream modes → identical workers."""
+    factory = tiny_model_factory
+    theta0 = parameters_of(factory())
+    # Two separate loaders with identical seeds → identical batch streams.
+    loader_a = DataLoader(tiny_dataset, 16, seed=seed)
+    loader_b = DataLoader(tiny_dataset, 16, seed=seed)
+
+    srv_diff = ParameterServer(theta0, 3, downstream="difference")
+    srv_model = ParameterServer(theta0, 3, downstream="model")
+    wa = build_workers(srv_diff, factory, theta0, loader_a, DenseStrategy)
+    wb = build_workers(srv_model, factory, theta0, loader_b, DenseStrategy)
+
+    order = random.Random(seed)
+    for _ in range(40):
+        w = order.randrange(3)
+        wa[w].apply_reply(srv_diff.handle(wa[w].compute_step()))
+        wb[w].apply_reply(srv_model.handle(wb[w].compute_step()))
+
+    for w in range(3):
+        pa, pb = parameters_of(wa[w].model), parameters_of(wb[w].model)
+        for name in pa:
+            np.testing.assert_allclose(pa[name], pb[name], atol=1e-12, err_msg=f"worker {w} {name}")
+
+
+def test_dgs_r100_equals_momentum_asgd(tiny_dataset, tiny_model_factory):
+    """SAMomentum with R=100% sends the dense velocity — the T=1 case of
+    Eq. (16), i.e. plain momentum ASGD through the same server."""
+    factory = tiny_model_factory
+    theta0 = parameters_of(factory())
+    m = 0.7
+
+    loader_a = DataLoader(tiny_dataset, 16, seed=0)
+    loader_b = DataLoader(tiny_dataset, 16, seed=0)
+    srv_a = ParameterServer(theta0, 2, downstream="difference")
+    srv_b = ParameterServer(theta0, 2, downstream="difference")
+
+    sam = lambda shapes: SAMomentumStrategy(shapes, TopKSparsifier(1.0, min_sparse_size=0), m)
+    wa = build_workers(srv_a, factory, theta0, loader_a, sam, n=2)
+
+    # Reference: dense strategy whose payload is a manually tracked velocity.
+    class DenseMomentum(DenseStrategy):
+        def __init__(self, shapes):
+            super().__init__(shapes)
+            self.u = OrderedDict((k, np.zeros(s)) for k, s in shapes.items())
+
+        def prepare(self, grads, lr):
+            out = OrderedDict()
+            for k, g in grads.items():
+                self.u[k] = m * self.u[k] + lr * g
+                out[k] = self.u[k].copy()
+            return out
+
+    wb = build_workers(srv_b, factory, theta0, loader_b, DenseMomentum, n=2)
+
+    order = random.Random(3)
+    for _ in range(30):
+        w = order.randrange(2)
+        wa[w].apply_reply(srv_a.handle(wa[w].compute_step()))
+        wb[w].apply_reply(srv_b.handle(wb[w].compute_step()))
+
+    for w in range(2):
+        pa, pb = parameters_of(wa[w].model), parameters_of(wb[w].model)
+        for name in pa:
+            np.testing.assert_allclose(pa[name], pb[name], atol=1e-10)
+
+
+def test_workers_stay_in_sync_with_server_model(tiny_dataset, tiny_model_factory):
+    """After every exchange (no secondary compression), the worker's local
+    model equals θ0 + M — the Eq. (5) identity, live during training."""
+    factory = tiny_model_factory
+    theta0 = parameters_of(factory())
+    loader = DataLoader(tiny_dataset, 16, seed=0)
+    srv = ParameterServer(theta0, 2, downstream="difference")
+    workers = build_workers(srv, factory, theta0, loader, DenseStrategy, n=2)
+
+    order = random.Random(1)
+    for _ in range(25):
+        w = order.randrange(2)
+        workers[w].apply_reply(srv.handle(workers[w].compute_step()))
+        global_model = srv.global_model()
+        local = parameters_of(workers[w].model)
+        for name in local:
+            np.testing.assert_allclose(local[name], global_model[name], atol=1e-12)

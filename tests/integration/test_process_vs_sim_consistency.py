@@ -1,0 +1,99 @@
+"""Cross-engine consistency: the same algorithm through different engines.
+
+The threaded, process, and simulated engines share WorkerNode /
+ParameterServer / strategies; these tests pin down that the *algorithmic*
+state evolution is engine-independent where determinism allows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Hyper
+from repro.data import DataLoader, make_blobs
+from repro.nn import MLP
+from repro.sim import ClusterConfig, SimulatedTrainer
+
+HYPER = Hyper(lr=0.1, momentum=0.7, ratio=0.1, min_sparse_size=0)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return make_blobs(n_samples=400, num_classes=4, dim=12, sep=2.0, noise=0.9, seed=9)
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return lambda: MLP(12, (20,), 4, seed=5)
+
+
+def sim(ds, factory, n_workers, **kw):
+    defaults = dict(
+        cluster=ClusterConfig.with_bandwidth(n_workers, 10, compute_mean_s=0.02),
+        batch_size=16,
+        total_iterations=40 * n_workers,
+        hyper=HYPER,
+        seed=0,
+    )
+    defaults.update(kw)
+    return SimulatedTrainer("dgs", factory, ds, **defaults)
+
+
+class TestSingleWorkerDeterminism:
+    def test_sim_single_worker_matches_manual_loop(self, ds, factory):
+        """With 1 worker there is no scheduling freedom: the simulated run
+        must equal a hand-driven compute→handle→apply loop exactly."""
+        from repro.core.layerops import layer_shapes, parameters_of
+        from repro.core.methods import get_method
+        from repro.ps.server import ParameterServer
+        from repro.ps.worker import WorkerNode
+        from repro.optim.schedules import ConstantLR
+
+        trainer = sim(ds, factory, 1, total_iterations=30)
+        result = trainer.run()
+
+        model = factory()
+        theta0 = parameters_of(model)
+        shapes = layer_shapes(model)
+        server = ParameterServer(theta0, 1, downstream="difference")
+        loader = DataLoader(ds, 16, seed=0)
+        node = WorkerNode(
+            0, model, loader.worker_iterator(0, 1),
+            get_method("dgs").make_strategy(shapes, HYPER),
+            schedule=ConstantLR(HYPER.lr),
+        )
+        for _ in range(30):
+            node.apply_reply(server.handle(node.compute_step()))
+
+        manual = server.global_model()
+        simulated = trainer.server.global_model()
+        for name in manual:
+            np.testing.assert_allclose(manual[name], simulated[name], atol=1e-12)
+
+    def test_engine_loss_sequence_matches(self, ds, factory):
+        a = sim(ds, factory, 1, total_iterations=25).run()
+        b = sim(ds, factory, 1, total_iterations=25).run()
+        np.testing.assert_array_equal(a.loss_vs_step.ys, b.loss_vs_step.ys)
+
+
+class TestEngineAgreementStatistics:
+    def test_threaded_and_sim_reach_similar_accuracy(self, ds, factory):
+        """Different interleavings, same algorithm — final quality agrees."""
+        from repro.ps import ThreadedTrainer
+
+        s = sim(ds, factory, 3, total_iterations=120).run()
+        t = ThreadedTrainer(
+            "dgs", factory, ds, num_workers=3, batch_size=16,
+            iterations_per_worker=40, hyper=HYPER, seed=0,
+        ).run()
+        assert abs(s.final_accuracy - t.final_accuracy) < 0.2
+
+    def test_process_engine_agrees(self, ds, factory):
+        from repro.ps import ProcessTrainer
+
+        s = sim(ds, factory, 2, total_iterations=60).run()
+        p = ProcessTrainer(
+            "dgs", factory, ds, num_workers=2, batch_size=16,
+            iterations_per_worker=30, hyper=HYPER, seed=0,
+        ).run()
+        assert abs(s.final_accuracy - p.final_accuracy) < 0.2
+        assert p.server_timestamp == s.total_iterations

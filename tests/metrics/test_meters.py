@@ -1,0 +1,53 @@
+"""Meters."""
+
+import pytest
+
+from repro.metrics import AverageMeter, EMAMeter
+
+
+class TestAverageMeter:
+    def test_avg(self):
+        m = AverageMeter()
+        m.update(1.0)
+        m.update(3.0)
+        assert m.avg == 2.0
+
+    def test_weighted(self):
+        m = AverageMeter()
+        m.update(1.0, n=3)
+        m.update(5.0, n=1)
+        assert m.avg == pytest.approx(2.0)
+
+    def test_min_max(self):
+        m = AverageMeter()
+        for v in (3.0, -1.0, 7.0):
+            m.update(v)
+        assert m.min == -1.0 and m.max == 7.0
+
+    def test_empty_avg_zero(self):
+        assert AverageMeter().avg == 0.0
+
+    def test_reset(self):
+        m = AverageMeter()
+        m.update(5.0)
+        m.reset()
+        assert m.count == 0 and m.avg == 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            AverageMeter().update(1.0, n=0)
+
+
+class TestEMAMeter:
+    def test_first_value_passthrough(self):
+        m = EMAMeter(0.9)
+        assert m.update(10.0) == 10.0
+
+    def test_smoothing(self):
+        m = EMAMeter(0.5)
+        m.update(0.0)
+        assert m.update(10.0) == pytest.approx(5.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            EMAMeter(1.0)

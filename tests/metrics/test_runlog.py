@@ -1,0 +1,70 @@
+"""Structured run logging."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.metrics.runlog import RunLogger, load_runlog
+
+
+class TestRunLogger:
+    def test_in_memory_records(self):
+        log = RunLogger()
+        log.log_step(1, 0.5)
+        log.log_step(2, 0.4, time_s=1.5, worker=0, staleness=3)
+        assert len(log.steps()) == 2
+        assert log.steps()[1]["staleness"] == 3
+
+    def test_meta_record(self):
+        log = RunLogger(meta={"method": "dgs", "workers": 4})
+        assert log.records[0] == {"type": "meta", "method": "dgs", "workers": 4}
+        assert log.steps() == []
+
+    def test_curve_extraction(self):
+        log = RunLogger()
+        for i, loss in enumerate([3.0, 2.0, 1.0], start=1):
+            log.log_step(i, loss, time_s=0.5 * i)
+        c = log.curve("loss", "step")
+        assert c.ys == [3.0, 2.0, 1.0]
+        ct = log.curve("loss", "time_s")
+        assert ct.xs == [0.5, 1.0, 1.5]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(path, meta={"seed": 1}) as log:
+            log.log_step(1, 0.9)
+            log.log_step(2, 0.8)
+        lines = path.read_text().strip().split("\n")
+        assert len(lines) == 3
+        assert json.loads(lines[0])["type"] == "meta"
+
+        loaded = load_runlog(path)
+        assert len(loaded.steps()) == 2
+        assert loaded.curve().ys == [0.9, 0.8]
+
+    def test_extra_fields(self):
+        log = RunLogger()
+        log.log_step(1, 0.5, up_bytes=100)
+        assert log.steps()[0]["up_bytes"] == 100
+
+
+class TestTrainerIntegration:
+    def test_simulated_trainer_logs(self, tiny_dataset, tiny_model_factory, tmp_path):
+        from repro.core import Hyper
+        from repro.sim import ClusterConfig, SimulatedTrainer
+
+        path = tmp_path / "train.jsonl"
+        with RunLogger(path, meta={"method": "dgs"}) as logger:
+            SimulatedTrainer(
+                "dgs", tiny_model_factory, tiny_dataset,
+                ClusterConfig.with_bandwidth(2, 10, compute_mean_s=0.02),
+                batch_size=16, total_iterations=30,
+                hyper=Hyper(ratio=0.1, min_sparse_size=0), logger=logger, seed=0,
+            ).run()
+        loaded = load_runlog(path)
+        steps = loaded.steps()
+        assert len(steps) == 30
+        assert {"step", "loss", "time_s", "worker", "staleness", "up_bytes"} <= set(steps[0])
+        times = [s["time_s"] for s in steps]
+        assert times == sorted(times)

@@ -1,0 +1,53 @@
+"""SVG chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import Curve
+from repro.metrics.svg import render_svg, save_svg
+
+
+def _curve(ys):
+    c = Curve("c")
+    for i, y in enumerate(ys):
+        c.add(i, y)
+    return c
+
+
+class TestRenderSvg:
+    def test_valid_document(self):
+        out = render_svg({"loss": _curve([3, 2, 1])}, title="T", xlabel="x", ylabel="y")
+        assert out.startswith("<svg")
+        assert out.rstrip().endswith("</svg>")
+        assert "<polyline" in out
+        assert "T" in out
+
+    def test_legend_entries(self):
+        out = render_svg({"a": _curve([1, 2]), "b": _curve([2, 1])})
+        assert ">a</text>" in out and ">b</text>" in out
+
+    def test_multiple_series_distinct_colors(self):
+        out = render_svg({"a": _curve([1, 2]), "b": _curve([2, 1])})
+        assert out.count("#1f77b4") >= 2  # line + legend swatch
+        assert "#d62728" in out
+
+    def test_empty(self):
+        assert "(no data)" in render_svg({})
+
+    def test_log_scale_drops_nonpositive(self):
+        out = render_svg({"l": _curve([10.0, 1.0, 0.0, 0.1])}, logy=True, ylabel="loss")
+        assert "log10(loss)" in out
+
+    def test_tuple_input(self):
+        out = render_svg({"s": ([0, 1], [5, 6])})
+        assert "<polyline" in out
+
+    def test_constant_series(self):
+        out = render_svg({"c": _curve([1, 1, 1])})
+        assert "<polyline" in out
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        save_svg(path, {"x": _curve([1, 2, 3])}, title="saved")
+        content = path.read_text()
+        assert content.startswith("<svg") and "saved" in content

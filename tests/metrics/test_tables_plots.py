@@ -1,0 +1,77 @@
+"""Table and ASCII-plot rendering."""
+
+import pytest
+
+from repro.metrics import Curve, ascii_plot, format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bbbb"), [(1, 2), (333, 4)])
+        lines = out.split("\n")
+        assert lines[0].startswith("a")
+        assert len({len(l) for l in lines if l}) == 1  # all rows equal width
+
+    def test_title(self):
+        out = format_table(("a",), [(1,)], title="T")
+        assert out.startswith("T\n")
+
+    def test_float_formatting(self):
+        out = format_table(("v",), [(0.123456,)])
+        assert "0.1235" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = format_markdown_table(("a", "b"), [(1, 2)])
+        lines = out.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_title_bold(self):
+        out = format_markdown_table(("a",), [(1,)], title="T")
+        assert out.startswith("**T**")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(("a",), [(1, 2)])
+
+
+class TestAsciiPlot:
+    def _curve(self, name, ys):
+        c = Curve(name)
+        for i, y in enumerate(ys):
+            c.add(i, y)
+        return c
+
+    def test_contains_legend_and_markers(self):
+        out = ascii_plot({"loss": self._curve("loss", [3, 2, 1])}, width=30, height=8)
+        assert "legend" in out
+        assert "o loss" in out
+
+    def test_multiple_series_different_markers(self):
+        out = ascii_plot(
+            {"a": self._curve("a", [1, 2]), "b": self._curve("b", [2, 1])},
+            width=20, height=6,
+        )
+        assert "o a" in out and "x b" in out
+
+    def test_empty_input(self):
+        assert "(no data)" in ascii_plot({}, title="t")
+
+    def test_tuple_series_accepted(self):
+        out = ascii_plot({"s": ([0, 1, 2], [5, 6, 7])}, width=20, height=5)
+        assert "s" in out
+
+    def test_constant_series_no_crash(self):
+        out = ascii_plot({"c": self._curve("c", [1, 1, 1])}, width=20, height=5)
+        assert "c" in out
+
+    def test_title_present(self):
+        out = ascii_plot({"a": self._curve("a", [0, 1])}, title="My Figure")
+        assert out.startswith("My Figure")

@@ -1,0 +1,44 @@
+"""Conv/pool layer modules (the op-level math is tested in tests/autograd)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import AvgPool2d, Conv2d, GlobalAvgPool2d, MaxPool2d
+
+
+class TestConv2dLayer:
+    def test_output_shape_same_padding(self, rng):
+        conv = Conv2d(3, 8, 3, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 8, 8, 8)
+
+    def test_output_shape_stride2(self, rng):
+        conv = Conv2d(3, 4, 3, stride=2, padding=1, rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 3, 8, 8))))
+        assert out.shape == (1, 4, 4, 4)
+
+    def test_bias_flag(self, rng):
+        assert Conv2d(2, 2, 3, bias=False, rng=rng).bias is None
+        assert Conv2d(2, 2, 3, bias=True, rng=rng).bias is not None
+
+    def test_param_count(self, rng):
+        conv = Conv2d(3, 8, 3, rng=rng)
+        assert conv.num_parameters() == 8 * 3 * 9 + 8
+
+    def test_repr(self, rng):
+        assert "Conv2d(3, 8" in repr(Conv2d(3, 8, 3, rng=rng))
+
+
+class TestPoolLayers:
+    def test_max_pool_shape(self, rng):
+        out = MaxPool2d(2)(Tensor(rng.normal(size=(2, 3, 8, 8))))
+        assert out.shape == (2, 3, 4, 4)
+
+    def test_avg_pool_custom_stride(self, rng):
+        out = AvgPool2d(2, stride=1)(Tensor(rng.normal(size=(1, 1, 4, 4))))
+        assert out.shape == (1, 1, 3, 3)
+
+    def test_global_avg_pool(self, rng):
+        out = GlobalAvgPool2d()(Tensor(rng.normal(size=(2, 5, 4, 4))))
+        assert out.shape == (2, 5)

@@ -1,0 +1,54 @@
+"""Checkpointing to .npz."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import MLP, SimpleCNN, load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_roundtrip_params(self, tmp_path):
+        m1 = MLP(6, (8,), 3, seed=0)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = MLP(6, (8,), 3, seed=99)
+        load_checkpoint(m2, path)
+        for (_, a), (_, b) in zip(m1.named_parameters(), m2.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_roundtrip_buffers(self, tmp_path, rng):
+        m1 = SimpleCNN(3, 4, width=4, seed=0)
+        m1(Tensor(rng.normal(size=(8, 3, 8, 8))))  # populate BN running stats
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = SimpleCNN(3, 4, width=4, seed=5)
+        load_checkpoint(m2, path)
+        np.testing.assert_array_equal(
+            m1.bn1._buffers["running_mean"], m2.bn1._buffers["running_mean"]
+        )
+
+    def test_identical_predictions_after_load(self, tmp_path, rng):
+        m1 = SimpleCNN(3, 4, width=4, seed=0)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        m1(x)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        m2 = SimpleCNN(3, 4, width=4, seed=9)
+        load_checkpoint(m2, path)
+        m1.eval()
+        m2.eval()
+        np.testing.assert_allclose(m1(x).data, m2(x).data, atol=1e-12)
+
+    def test_rejects_non_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(ValueError):
+            load_checkpoint(MLP(2, (2,), 2, seed=0), path)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        m1 = MLP(6, (8,), 3, seed=0)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(m1, path)
+        with pytest.raises(Exception):
+            load_checkpoint(MLP(7, (8,), 3, seed=0), path)

@@ -1,0 +1,41 @@
+"""Gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.optim import clip_by_global_norm, global_norm
+
+
+class TestGlobalNorm:
+    def test_single_array(self):
+        assert global_norm([np.array([3.0, 4.0])]) == pytest.approx(5.0)
+
+    def test_multi_array(self):
+        g = [np.array([3.0]), np.array([4.0])]
+        assert global_norm(g) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert global_norm([]) == 0.0
+
+
+class TestClip:
+    def test_noop_below_threshold(self):
+        g = [np.array([1.0, 1.0])]
+        norm = clip_by_global_norm(g, 10.0)
+        np.testing.assert_allclose(g[0], [1.0, 1.0])
+        assert norm == pytest.approx(np.sqrt(2))
+
+    def test_scales_above_threshold(self):
+        g = [np.array([3.0, 4.0])]
+        clip_by_global_norm(g, 1.0)
+        assert global_norm(g) == pytest.approx(1.0, rel=1e-6)
+        np.testing.assert_allclose(g[0] / np.linalg.norm(g[0]), [0.6, 0.8])
+
+    def test_in_place(self):
+        arr = np.array([10.0])
+        clip_by_global_norm([arr], 1.0)
+        assert arr[0] == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_by_global_norm([np.ones(2)], 0.0)

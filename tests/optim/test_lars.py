@@ -1,0 +1,102 @@
+"""LARS optimizer (paper ref. [32])."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim.lars import LARS
+
+
+def param(values):
+    return Parameter(np.asarray(values, dtype=float))
+
+
+class TestLocalLR:
+    def test_formula(self):
+        p = param([3.0, 4.0])  # ||w|| = 5
+        p.grad = np.array([0.0, 2.0])  # ||g|| = 2
+        opt = LARS([p], lr=1.0, trust_coefficient=0.01, eps=0.0)
+        assert opt.local_lr(p) == pytest.approx(0.01 * 5 / 2)
+
+    def test_weight_decay_in_denominator(self):
+        p = param([3.0, 4.0])
+        p.grad = np.array([0.0, 2.0])
+        opt = LARS([p], lr=1.0, trust_coefficient=0.01, weight_decay=0.1, eps=0.0)
+        assert opt.local_lr(p) == pytest.approx(0.01 * 5 / (2 + 0.5))
+
+    def test_zero_norm_fallback(self):
+        p = param([0.0])
+        p.grad = np.array([1.0])
+        assert LARS([p], lr=1.0).local_lr(p) == 1.0
+
+    def test_layerwise_independence(self):
+        """Layers with very different gradient scales get equalised steps."""
+        big = param(np.ones(10))
+        small = param(np.ones(10))
+        big.grad = np.full(10, 100.0)
+        small.grad = np.full(10, 0.01)
+        opt = LARS([big, small], lr=1.0, momentum=0.0, trust_coefficient=0.01)
+        opt.step()
+        step_big = np.abs(big.data - 1.0).max()
+        step_small = np.abs(small.data - 1.0).max()
+        assert step_big == pytest.approx(step_small, rel=1e-5)
+
+
+class TestStep:
+    def test_no_momentum_matches_formula(self):
+        p = param([3.0, 4.0])
+        p.grad = np.array([0.0, 2.0])
+        opt = LARS([p], lr=0.5, momentum=0.0, trust_coefficient=0.01, eps=0.0)
+        llr = opt.local_lr(p)
+        opt.step()
+        np.testing.assert_allclose(p.data, [3.0, 4.0 - 0.5 * llr * 2.0])
+
+    def test_momentum_accumulates(self):
+        p = param([1.0])
+        opt = LARS([p], lr=0.1, momentum=0.9)
+        positions = []
+        for _ in range(3):
+            p.grad = np.array([1.0])
+            opt.step()
+            positions.append(p.data[0])
+        deltas = [1.0 - positions[0], positions[0] - positions[1]]
+        assert abs(deltas[1]) > 0  # moving
+
+    def test_skips_missing_grads(self):
+        p = param([1.0])
+        LARS([p], lr=0.1).step()
+        assert p.data[0] == 1.0
+
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        w = param(np.array([5.0, 5.0, 5.0]))
+        opt = LARS([w], lr=1.0, momentum=0.9, trust_coefficient=0.05)
+        for _ in range(600):
+            w.grad = 2 * (w.data - target)
+            opt.step()
+        assert np.linalg.norm(w.data - target) < 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LARS([param([1.0])], lr=0.0)
+        with pytest.raises(ValueError):
+            LARS([param([1.0])], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            LARS([param([1.0])], lr=0.1, trust_coefficient=0.0)
+
+
+class TestLargeBatchStory:
+    def test_trains_mlp_at_large_batch(self, tiny_dataset, tiny_model_factory):
+        """§2's claim: LARS makes large-batch training workable."""
+        from repro.autograd import Tensor
+        from repro.nn import cross_entropy
+
+        model = tiny_model_factory()
+        opt = LARS(model.parameters(), lr=1.0, momentum=0.9, trust_coefficient=0.02)
+        x, y = tiny_dataset.x_train, tiny_dataset.y_train  # full batch
+        for _ in range(120):
+            loss = cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert float(loss.data) < 0.3

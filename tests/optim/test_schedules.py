@@ -1,0 +1,87 @@
+"""Learning-rate schedules."""
+
+import math
+
+import pytest
+
+from repro.optim import ConstantLR, CosineDecay, StepDecay, WarmupWrapper
+
+
+class TestConstant:
+    def test_constant(self):
+        s = ConstantLR(0.1)
+        assert s(0) == s(100) == 0.1
+
+
+class TestStepDecay:
+    def test_paper_imagenet_schedule(self):
+        """LR 0.1 decays ×0.1 at epochs 30 and 60 (§5.1)."""
+        s = StepDecay(0.1, milestones=(30, 60), factor=0.1)
+        assert s(0) == pytest.approx(0.1)
+        assert s(29.9) == pytest.approx(0.1)
+        assert s(30) == pytest.approx(0.01)
+        assert s(59.9) == pytest.approx(0.01)
+        assert s(60) == pytest.approx(0.001)
+
+    def test_unsorted_milestones(self):
+        s = StepDecay(1.0, milestones=(40, 30), factor=0.5)
+        assert s(35) == pytest.approx(0.5)
+
+    def test_fractional_epochs(self):
+        s = StepDecay(1.0, milestones=(1.5,), factor=0.1)
+        assert s(1.4) == 1.0 and s(1.6) == pytest.approx(0.1)
+
+
+class TestCosine:
+    def test_endpoints(self):
+        s = CosineDecay(1.0, total_epochs=10, min_lr=0.01)
+        assert s(0) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.01)
+
+    def test_midpoint(self):
+        s = CosineDecay(1.0, total_epochs=10, min_lr=0.0)
+        assert s(5) == pytest.approx(0.5)
+
+    def test_clamps_beyond_total(self):
+        s = CosineDecay(1.0, total_epochs=10, min_lr=0.01)
+        assert s(20) == pytest.approx(0.01)
+
+    def test_monotone_decreasing(self):
+        s = CosineDecay(1.0, total_epochs=10)
+        values = [s.lr_at(e) for e in range(11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestWarmup:
+    def test_starts_at_factor(self):
+        s = WarmupWrapper(ConstantLR(1.0), warmup_epochs=5, warmup_factor=0.1)
+        assert s(0) == pytest.approx(0.1)
+
+    def test_reaches_base_at_end(self):
+        s = WarmupWrapper(ConstantLR(1.0), warmup_epochs=5, warmup_factor=0.1)
+        assert s(5) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(1.0)
+
+    def test_linear_in_between(self):
+        s = WarmupWrapper(ConstantLR(1.0), warmup_epochs=4, warmup_factor=0.0)
+        assert s(1) == pytest.approx(0.25)
+        assert s(2) == pytest.approx(0.5)
+
+    def test_zero_warmup(self):
+        s = WarmupWrapper(ConstantLR(0.5), warmup_epochs=0)
+        assert s(0) == 0.5
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            WarmupWrapper(ConstantLR(1.0), warmup_epochs=-1)
+
+    def test_composes_with_step_decay(self):
+        s = WarmupWrapper(StepDecay(1.0, (10,), 0.1), warmup_epochs=2)
+        assert s(15) == pytest.approx(0.1)
+
+
+class TestValidation:
+    def test_nonpositive_lr_raises_at_call(self):
+        s = ConstantLR(0.0)
+        with pytest.raises(ValueError):
+            s(0)

@@ -1,0 +1,98 @@
+"""SGD optimizer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD
+
+
+def make_param(values):
+    p = Parameter(np.asarray(values, dtype=float))
+    return p
+
+
+class TestVanillaSGD:
+    def test_step(self):
+        p = make_param([1.0, 2.0])
+        p.grad = np.array([0.5, -0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95, 2.05])
+
+    def test_skips_none_grads(self):
+        p = make_param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_zero_grad(self):
+        p = make_param([1.0])
+        p.grad = np.array([1.0])
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], lr=0.1, momentum=1.0)
+
+
+class TestMomentum:
+    def test_velocity_recurrence(self):
+        """u_t = m u_{t-1} + lr g; w -= u — Eq. (7) with N=1."""
+        p = make_param([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        u = 0.0
+        w = 0.0
+        for step in range(5):
+            g = float(step + 1)
+            p.grad = np.array([g])
+            opt.step()
+            u = 0.9 * u + 0.1 * g
+            w -= u
+            np.testing.assert_allclose(p.data, [w], rtol=1e-12)
+
+    def test_momentum_accelerates_constant_gradient(self):
+        plain, mom = make_param([0.0]), make_param([0.0])
+        opt_p = SGD([plain], lr=0.1)
+        opt_m = SGD([mom], lr=0.1, momentum=0.9)
+        for _ in range(20):
+            plain.grad = np.array([1.0])
+            mom.grad = np.array([1.0])
+            opt_p.step()
+            opt_m.step()
+        assert abs(mom.data[0]) > abs(plain.data[0])
+
+    def test_nesterov_differs(self):
+        a, b = make_param([0.0]), make_param([0.0])
+        oa = SGD([a], lr=0.1, momentum=0.9)
+        ob = SGD([b], lr=0.1, momentum=0.9, nesterov=True)
+        for _ in range(3):
+            a.grad = np.array([1.0])
+            b.grad = np.array([1.0])
+            oa.step()
+            ob.step()
+        assert a.data[0] != b.data[0]
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([0.0])], lr=0.1, nesterov=True)
+
+    def test_velocity_bytes(self):
+        p = make_param(np.zeros(100))
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        assert opt.velocity_bytes() == 0
+        p.grad = np.zeros(100)
+        opt.step()
+        assert opt.velocity_bytes() == 800
+
+
+class TestWeightDecay:
+    def test_decay_applied(self):
+        p = make_param([1.0])
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [1.0 - 0.1 * 0.5])

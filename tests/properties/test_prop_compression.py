@@ -1,0 +1,84 @@
+"""Property-based tests for sparsifiers and wire coding."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays, array_shapes
+
+from repro.compression import (
+    TopKSparsifier,
+    encode_mask,
+    encode_sparse,
+    sparsify,
+    topk_mask,
+    topk_threshold,
+    unsparsify,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=64
+)
+vectors = arrays(np.float64, st.integers(1, 400), elements=finite_floats)
+ratios = st.floats(min_value=0.001, max_value=1.0)
+
+
+class TestTopKProperties:
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=120, deadline=None)
+    def test_exact_count(self, arr, ratio):
+        mask = topk_mask(arr, ratio)
+        expected = max(1, min(arr.size, int(np.ceil(arr.size * ratio))))
+        assert mask.sum() == expected
+
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=120, deadline=None)
+    def test_kept_dominate_dropped(self, arr, ratio):
+        mask = topk_mask(arr, ratio)
+        if mask.all():
+            return
+        assert np.abs(arr[mask]).min() >= np.abs(arr[~mask]).max()
+
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_threshold_consistent_with_mask(self, arr, ratio):
+        thr = topk_threshold(arr, ratio)
+        strictly_above = (np.abs(arr) > thr).sum()
+        mask_count = topk_mask(arr, ratio).sum()
+        # Ties at the threshold may inflate the mask, never the reverse.
+        assert strictly_above <= mask_count
+
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_split_partition(self, arr, ratio):
+        sp = TopKSparsifier(ratio, min_sparse_size=0)
+        mask, sent, kept = sp.split(arr)
+        np.testing.assert_allclose(sent + kept, arr)
+        assert not np.logical_and(sent != 0, kept != 0).any()
+
+
+class TestCodingProperties:
+    @given(arr=arrays(np.float64, array_shapes(max_dims=3, max_side=12), elements=finite_floats))
+    @settings(max_examples=120, deadline=None)
+    def test_encode_decode_roundtrip(self, arr):
+        np.testing.assert_array_equal(encode_sparse(arr).to_dense(), arr)
+
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_encode_mask_roundtrip_equals_sparsify(self, arr, ratio):
+        mask = topk_mask(arr, ratio)
+        np.testing.assert_array_equal(encode_mask(arr, mask).to_dense(), sparsify(arr, mask))
+
+    @given(arr=vectors)
+    @settings(max_examples=80, deadline=None)
+    def test_nbytes_monotone_in_nnz(self, arr):
+        st_full = encode_sparse(arr)
+        half = arr.copy()
+        half[: len(half) // 2] = 0.0
+        st_half = encode_sparse(half)
+        assert st_half.nbytes() <= st_full.nbytes()
+
+    @given(arr=vectors, ratio=ratios)
+    @settings(max_examples=80, deadline=None)
+    def test_sparsify_unsparsify_partition(self, arr, ratio):
+        mask = topk_mask(arr, ratio)
+        np.testing.assert_allclose(sparsify(arr, mask) + unsparsify(arr, mask), arr)

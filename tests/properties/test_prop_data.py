@@ -1,0 +1,53 @@
+"""Property tests for dataset sharding and batch iteration."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BatchIterator, make_blobs
+
+
+@given(
+    n=st.integers(min_value=8, max_value=300),
+    shards=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_shards_partition_training_set(n, shards, seed):
+    ds = make_blobs(n_samples=n, num_classes=3, dim=4, seed=seed)
+    pieces = [ds.shard(shards, i) for i in range(shards)]
+    assert sum(p.n_train for p in pieces) == ds.n_train
+    # Union of shard rows equals the full set (compare as sorted bytes).
+    stacked = np.vstack([p.x_train for p in pieces])
+    a = np.sort(stacked.view([("", stacked.dtype)] * stacked.shape[1]).reshape(-1))
+    full = ds.x_train
+    b = np.sort(full.view([("", full.dtype)] * full.shape[1]).reshape(-1))
+    assert np.array_equal(a, b)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=100),
+    bs=st.integers(min_value=1, max_value=40),
+    steps=st.integers(min_value=1, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_batches_always_full_with_drop_last(n, bs, steps):
+    x = np.arange(n, dtype=float).reshape(n, 1)
+    it = BatchIterator(x, np.zeros(n), batch_size=bs, seed=0, drop_last=True)
+    effective = min(bs, n)
+    for _ in range(steps):
+        xb, yb = it.next_batch()
+        assert len(xb) == effective
+        assert len(xb) == len(yb)
+
+
+@given(n=st.integers(min_value=5, max_value=60), bs=st.integers(min_value=1, max_value=20))
+@settings(max_examples=40, deadline=None)
+def test_one_epoch_sees_each_sample_once(n, bs):
+    x = np.arange(n, dtype=float).reshape(n, 1)
+    it = BatchIterator(x, np.zeros(n), batch_size=bs, seed=3, drop_last=False)
+    seen = []
+    for _ in range(it.batches_per_epoch):
+        xb, _ = it.next_batch()
+        seen.extend(xb.reshape(-1).tolist())
+    assert sorted(seen) == list(range(n))

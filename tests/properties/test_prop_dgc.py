@@ -1,0 +1,70 @@
+"""Property tests for the DGC strategy (momentum correction + masking)."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategies import DGCStrategy
+
+N = 16
+
+grad_seqs = st.lists(
+    st.lists(
+        st.floats(min_value=-5, max_value=5, allow_nan=False, width=64),
+        min_size=N, max_size=N,
+    ),
+    min_size=1, max_size=10,
+)
+ratios = st.floats(min_value=0.05, max_value=1.0)
+momenta = st.floats(min_value=0.0, max_value=0.95)
+
+
+def make(ratio, m, clip=None):
+    return DGCStrategy(
+        OrderedDict([("w", (N,))]), ratio=ratio, momentum=m, ramp=None,
+        clip_norm=clip, min_sparse_size=0,
+    )
+
+
+@given(grads=grad_seqs, ratio=ratios, m=momenta)
+@settings(max_examples=80, deadline=None)
+def test_factor_masking_invariant(grads, ratio, m):
+    """After every prepare, u and v are zero exactly at the sent coords."""
+    strat = make(ratio, m)
+    for g in grads:
+        out = strat.prepare(OrderedDict([("w", np.asarray(g))]), 0.1)
+        idx = out["w"].indices
+        assert (strat.u["w"][idx] == 0).all()
+        assert (strat.v["w"][idx] == 0).all()
+
+
+@given(grads=grad_seqs, ratio=ratios)
+@settings(max_examples=60, deadline=None)
+def test_zero_momentum_dgc_equals_gradient_dropping(grads, ratio):
+    """With m=0 (and no clip/ramp), DGC degenerates to Algorithm 1."""
+    from repro.compression import TopKSparsifier
+    from repro.core.strategies import GradientDroppingStrategy
+
+    dgc = make(ratio, 0.0)
+    gd = GradientDroppingStrategy(
+        OrderedDict([("w", (N,))]), TopKSparsifier(ratio, min_sparse_size=0)
+    )
+    for g in grads:
+        g = np.asarray(g)
+        a = dgc.prepare(OrderedDict([("w", g)]), 0.1)["w"].to_dense()
+        b = gd.prepare(OrderedDict([("w", g)]), 0.1)["w"].to_dense()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+@given(grads=grad_seqs, clip=st.floats(min_value=0.01, max_value=10.0))
+@settings(max_examples=60, deadline=None)
+def test_clipping_bounds_injected_mass(grads, clip):
+    """Each iteration injects at most lr·clip of gradient norm into v."""
+    strat = make(1.0, 0.0, clip=clip)  # send everything, no momentum
+    lr = 0.1
+    for g in grads:
+        out = strat.prepare(OrderedDict([("w", np.asarray(g))]), lr)
+        norm = float(np.linalg.norm(out["w"].to_dense()))
+        assert norm <= lr * clip + 1e-9

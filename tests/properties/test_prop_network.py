@@ -1,0 +1,48 @@
+"""Property tests for the network simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import LinkModel, SharedLink
+
+transfers = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),  # ready time (unsorted!)
+        st.integers(min_value=0, max_value=10**7),  # bytes
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(transfers=transfers, bw=st.floats(min_value=1e3, max_value=1e9), lat=st.floats(min_value=0, max_value=0.1))
+@settings(max_examples=100, deadline=None)
+def test_fifo_link_invariants(transfers, bw, lat):
+    """For arrival-ordered reservations: no overlap, no start before ready,
+    busy time equals the sum of durations."""
+    link = SharedLink(LinkModel(bw, lat))
+    prev_end = 0.0
+    total = 0.0
+    for ready, nbytes in sorted(transfers):
+        start, end = link.reserve(ready, nbytes)
+        assert start >= ready
+        assert start >= prev_end  # FIFO: no overlap
+        duration = lat + nbytes / bw
+        assert end == start + duration
+        prev_end = end
+        total += duration
+    assert link.busy_time == total
+    assert link.free_at == prev_end
+
+
+@given(
+    nbytes=st.integers(min_value=0, max_value=10**8),
+    bw1=st.floats(min_value=1e3, max_value=1e8),
+    factor=st.floats(min_value=1.5, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_transfer_time_monotone_in_bandwidth(nbytes, bw1, factor):
+    slow = LinkModel(bw1, 0.0).transfer_time(nbytes)
+    fast = LinkModel(bw1 * factor, 0.0).transfer_time(nbytes)
+    assert fast <= slow

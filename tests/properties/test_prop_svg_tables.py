@@ -1,0 +1,53 @@
+"""Property tests for the reporting layer: renderers never crash and always
+produce well-formed output, for arbitrary numeric data."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import Curve, ascii_plot, format_markdown_table, format_table
+from repro.metrics.svg import render_svg
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+series = st.lists(finite, min_size=1, max_size=40)
+
+
+def to_curve(ys):
+    c = Curve("c")
+    for i, y in enumerate(ys):
+        c.add(i, y)
+    return c
+
+
+@given(ys=series)
+@settings(max_examples=60, deadline=None)
+def test_ascii_plot_always_renders(ys):
+    out = ascii_plot({"s": to_curve(ys)}, width=40, height=10)
+    lines = out.split("\n")
+    assert len(lines) >= 12
+    assert "legend" in out
+
+
+@given(ys=series, logy=st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_svg_always_well_formed(ys, logy):
+    out = render_svg({"s": to_curve(ys)}, logy=logy)
+    assert out.startswith("<svg")
+    assert out.rstrip().endswith("</svg>")
+    # balanced text tags
+    assert out.count("<text") == out.count("</text>")
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.text(min_size=0, max_size=8).filter(lambda s: "\n" not in s), finite),
+        min_size=1,
+        max_size=15,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_tables_render_arbitrary_cells(rows):
+    txt = format_table(("name", "value"), rows)
+    md = format_markdown_table(("name", "value"), rows)
+    assert len(txt.split("\n")) == len(rows) + 2
+    assert md.count("\n") == len(rows) + 1

@@ -1,0 +1,56 @@
+"""Wire messages and byte accounting."""
+
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.compression import dense_nbytes, encode_sparse, sparse_nbytes
+from repro.ps import DiffMessage, GradientMessage, ModelMessage, payload_dense_nbytes, payload_nbytes
+
+
+@pytest.fixture
+def sparse_payload(rng):
+    arr = rng.normal(size=100)
+    arr[np.abs(arr) < 1.0] = 0.0
+    return OrderedDict([("w", encode_sparse(arr))])
+
+
+@pytest.fixture
+def dense_payload(rng):
+    return OrderedDict([("w", rng.normal(size=100))])
+
+
+class TestPayloadBytes:
+    def test_sparse(self, sparse_payload):
+        nnz = sparse_payload["w"].nnz
+        assert payload_nbytes(sparse_payload) == sparse_nbytes(nnz)
+
+    def test_dense(self, dense_payload):
+        assert payload_nbytes(dense_payload) == dense_nbytes(100)
+
+    def test_dense_equiv_same_for_both(self, sparse_payload, dense_payload):
+        assert payload_dense_nbytes(sparse_payload) == payload_dense_nbytes(dense_payload)
+
+    def test_multi_layer_sums(self, rng):
+        payload = OrderedDict([("a", rng.normal(size=10)), ("b", rng.normal(size=20))])
+        assert payload_nbytes(payload) == dense_nbytes(10) + dense_nbytes(20)
+
+
+class TestMessages:
+    def test_gradient_message(self, sparse_payload):
+        msg = GradientMessage(0, sparse_payload, 5)
+        assert msg.nbytes() == payload_nbytes(sparse_payload)
+        assert msg.dense_nbytes() == dense_nbytes(100)
+
+    def test_diff_message_fields(self, sparse_payload):
+        msg = DiffMessage(1, sparse_payload, server_timestamp=7, staleness=3)
+        assert msg.worker_id == 1 and msg.staleness == 3
+
+    def test_model_message_is_dense_both_ways(self, dense_payload):
+        msg = ModelMessage(0, dense_payload, 1, 0)
+        assert msg.nbytes() == msg.dense_nbytes() == dense_nbytes(100)
+
+    def test_sparse_smaller_than_dense_at_low_density(self, sparse_payload):
+        msg = GradientMessage(0, sparse_payload, 0)
+        assert msg.nbytes() < msg.dense_nbytes()

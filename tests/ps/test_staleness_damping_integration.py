@@ -1,0 +1,32 @@
+"""Gap-aware damping through the full runner path (harness → sim → server)."""
+
+import pytest
+
+from repro.harness import get_workload, run_distributed
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return get_workload("blobs")
+
+
+class TestDampingThroughHarness:
+    def test_runner_threads_flag(self, wl):
+        base = run_distributed("asgd", wl, 3, fast=True, epochs=1, seed=0)
+        damped = run_distributed(
+            "asgd", wl, 3, fast=True, epochs=1, seed=0, staleness_damping=True
+        )
+        # identical everything else → only the damping changed the outcome
+        assert base.total_iterations == damped.total_iterations
+        assert base.final_loss != damped.final_loss
+
+    def test_damping_off_by_default(self, wl):
+        a = run_distributed("asgd", wl, 3, fast=True, epochs=1, seed=0)
+        b = run_distributed("asgd", wl, 3, fast=True, epochs=1, seed=0)
+        assert a.final_loss == b.final_loss  # determinism sanity
+
+    def test_single_worker_damping_is_noop(self, wl):
+        """staleness is always 0 with one worker → damping changes nothing."""
+        a = run_distributed("asgd", wl, 1, fast=True, epochs=1, seed=0)
+        b = run_distributed("asgd", wl, 1, fast=True, epochs=1, seed=0, staleness_damping=True)
+        assert a.final_loss == b.final_loss

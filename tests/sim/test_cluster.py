@@ -1,0 +1,60 @@
+"""Cluster configuration and compute model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import ClusterConfig, ComputeModel, LinkModel
+
+
+class TestComputeModel:
+    def test_no_jitter_is_deterministic(self, rng):
+        cm = ComputeModel(mean_s=0.5, jitter=0.0)
+        assert cm.sample(rng) == 0.5
+
+    def test_jitter_varies(self, rng):
+        cm = ComputeModel(mean_s=0.5, jitter=0.2)
+        samples = {cm.sample(rng) for _ in range(10)}
+        assert len(samples) > 1
+        assert all(s > 0 for s in samples)
+
+    def test_speed_factor_scales(self, rng):
+        cm = ComputeModel(mean_s=1.0, jitter=0.0)
+        assert cm.sample(rng, speed_factor=2.0) == 2.0
+
+    def test_homogeneous_factors(self, rng):
+        cm = ComputeModel(heterogeneity=0.0)
+        np.testing.assert_array_equal(cm.worker_speed_factors(5, rng), np.ones(5))
+
+    def test_heterogeneous_factors(self, rng):
+        cm = ComputeModel(heterogeneity=0.3)
+        f = cm.worker_speed_factors(20, rng)
+        assert f.std() > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(mean_s=0.0)
+        with pytest.raises(ValueError):
+            ComputeModel(jitter=-1)
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        cfg = ClusterConfig()
+        assert cfg.num_workers == 4
+        assert cfg.duplex == "full"
+
+    def test_with_bandwidth(self):
+        cfg = ClusterConfig.with_bandwidth(8, 1.0, compute_mean_s=0.3)
+        assert cfg.num_workers == 8
+        assert cfg.uplink.bandwidth_bytes_per_s == pytest.approx(1e9 / 8)
+        assert cfg.compute.mean_s == 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(num_workers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(wire_scale=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(duplex="simplex")
+        with pytest.raises(ValueError):
+            ClusterConfig(server_overhead_s=-1)

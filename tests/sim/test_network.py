@@ -1,0 +1,62 @@
+"""Network model: transfer times, FIFO link sharing."""
+
+import pytest
+
+from repro.sim import GBPS, LinkModel, SharedLink
+
+
+class TestLinkModel:
+    def test_transfer_time(self):
+        link = LinkModel(bandwidth_bytes_per_s=1000, latency_s=0.01)
+        assert link.transfer_time(500) == pytest.approx(0.01 + 0.5)
+
+    def test_gbps_constructor(self):
+        link = LinkModel.gbps(1)
+        assert link.bandwidth_bytes_per_s == pytest.approx(1e9 / 8)
+
+    def test_ten_gbps_is_ten_times_faster(self):
+        b1 = LinkModel.gbps(1, latency_s=0).transfer_time(10**6)
+        b10 = LinkModel.gbps(10, latency_s=0).transfer_time(10**6)
+        assert b1 == pytest.approx(10 * b10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(0)
+        with pytest.raises(ValueError):
+            LinkModel(1, latency_s=-1)
+
+
+class TestSharedLink:
+    def test_idle_link_starts_immediately(self):
+        link = SharedLink(LinkModel(1000, latency_s=0))
+        start, end = link.reserve(5.0, 1000)
+        assert start == 5.0 and end == pytest.approx(6.0)
+
+    def test_fifo_queuing(self):
+        link = SharedLink(LinkModel(1000, latency_s=0))
+        _, end1 = link.reserve(0.0, 2000)  # busy until t=2
+        start2, end2 = link.reserve(0.5, 1000)
+        assert start2 == pytest.approx(2.0)
+        assert end2 == pytest.approx(3.0)
+
+    def test_gap_leaves_link_idle(self):
+        link = SharedLink(LinkModel(1000, latency_s=0))
+        link.reserve(0.0, 1000)  # ends at 1
+        start, _ = link.reserve(10.0, 1000)
+        assert start == 10.0
+
+    def test_busy_time_and_utilisation(self):
+        link = SharedLink(LinkModel(1000, latency_s=0))
+        link.reserve(0.0, 500)
+        link.reserve(0.0, 500)
+        assert link.busy_time == pytest.approx(1.0)
+        assert link.utilisation(2.0) == pytest.approx(0.5)
+        assert link.transfers == 2
+
+    def test_negative_ready_time_rejected(self):
+        link = SharedLink(LinkModel(1000))
+        with pytest.raises(ValueError):
+            link.reserve(-1.0, 10)
+
+    def test_utilisation_zero_horizon(self):
+        assert SharedLink(LinkModel(1000)).utilisation(0.0) == 0.0

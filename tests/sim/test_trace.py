@@ -1,0 +1,82 @@
+"""Virtual-timeline trace invariants (record_trace=True)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hyper
+from repro.sim import ClusterConfig, SimulatedTrainer
+
+
+@pytest.fixture(scope="module")
+def trace(tiny_dataset_mod, tiny_factory_mod):
+    trainer = SimulatedTrainer(
+        "dgs",
+        tiny_factory_mod,
+        tiny_dataset_mod,
+        ClusterConfig.with_bandwidth(4, 0.01, compute_mean_s=0.03),
+        batch_size=16,
+        total_iterations=80,
+        hyper=Hyper(lr=0.1, momentum=0.7, ratio=0.1, min_sparse_size=0),
+        record_trace=True,
+        seed=0,
+    )
+    result = trainer.run()
+    assert result.trace is not None
+    return result.trace
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_mod():
+    from repro.data import make_blobs
+
+    return make_blobs(n_samples=400, num_classes=4, dim=12, sep=2.5, noise=0.8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_factory_mod():
+    from repro.nn import MLP
+
+    return lambda: MLP(12, (24,), 4, seed=7)
+
+
+class TestTraceInvariants:
+    def test_one_event_per_iteration(self, trace):
+        assert len(trace) == 80
+
+    def test_per_event_causality(self, trace):
+        for e in trace:
+            assert e.ready_t <= e.up_start <= e.up_end <= e.server_t <= e.down_end
+
+    def test_server_times_strictly_increase(self, trace):
+        times = [e.server_t for e in trace]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_uplink_fifo_no_overlap(self, trace):
+        """Uplink transmissions never overlap (shared FIFO resource)."""
+        spans = sorted((e.up_start, e.up_end) for e in trace if e.up_bytes > 0)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-9
+
+    def test_worker_lifecycle_sequential(self, trace):
+        """Each worker's iteration k+1 computes only after k's download."""
+        per_worker: dict[int, list] = {}
+        for e in trace:
+            per_worker.setdefault(e.worker, []).append(e)
+        for events in per_worker.values():
+            events.sort(key=lambda e: e.local_iteration)
+            for prev, cur in zip(events, events[1:]):
+                assert cur.local_iteration == prev.local_iteration + 1
+                assert cur.ready_t >= prev.down_end
+
+    def test_staleness_matches_interleaving(self, trace):
+        """Recorded staleness equals the number of other-worker updates
+        applied between this worker's consecutive server visits."""
+        last_server_index: dict[int, int] = {}
+        for i, e in enumerate(trace):
+            if e.worker in last_server_index:
+                expected = i - last_server_index[e.worker] - 1
+                assert e.staleness == expected
+            last_server_index[e.worker] = i
+
+    def test_bytes_positive(self, trace):
+        assert all(e.up_bytes > 0 and e.down_bytes > 0 for e in trace)

@@ -1,0 +1,57 @@
+"""Public API integrity: every __all__ name resolves; key surfaces import."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.nn",
+    "repro.data",
+    "repro.optim",
+    "repro.compression",
+    "repro.core",
+    "repro.ps",
+    "repro.sim",
+    "repro.metrics",
+    "repro.harness",
+    "repro.harness.experiments",
+]
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_names_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    missing = [name for name in getattr(mod, "__all__", []) if not hasattr(mod, name)]
+    assert not missing, f"{pkg}.__all__ has unresolvable names: {missing}"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_star_import_surface():
+    namespace = {}
+    exec("from repro.core import *", namespace)
+    assert "ModelDifferenceTracker" in namespace
+    assert "SAMomentumStrategy" in namespace
+
+
+def test_experiment_modules_have_run():
+    from repro.harness import experiments
+
+    for name in experiments.__all__:
+        mod = getattr(experiments, name)
+        assert callable(getattr(mod, "run", None)), f"{name} lacks run()"
+
+
+def test_cli_registry_matches_experiments():
+    from repro.__main__ import EXPERIMENTS
+    from repro.harness import experiments
+
+    registered = {id(mod) for mod, _ in EXPERIMENTS.values()}
+    available = {id(getattr(experiments, n)) for n in experiments.__all__}
+    assert registered == available, "CLI registry out of sync with experiments package"
