@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test bench-smoke
+
+## Static analysis: AST lint + lock discipline + sanitizer self-check.
+lint:
+	$(PYTHON) -m repro.analysis
+
+## Tier-1 test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Quarter-scale pass over every paper table/figure (~2 min).
+bench-smoke:
+	REPRO_SCALE=fast $(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -9,13 +9,15 @@ Public surface:
 * ``repro.compression`` — sparsifiers, quantiser, wire coding
 * ``repro.data`` / ``repro.optim`` / ``repro.metrics`` — supporting pieces
 * ``repro.harness`` — ready-made experiment runners for every table/figure
+* ``repro.analysis`` — static analysis + runtime sanitizers for this repo
 """
 
-from . import autograd, compression, core, data, harness, metrics, nn, optim, ps, sim
+from . import analysis, autograd, compression, core, data, harness, metrics, nn, optim, ps, sim
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
     "autograd",
     "nn",
     "data",

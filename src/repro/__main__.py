@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -46,6 +47,12 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
     run_p.add_argument("--fast", action="store_true", help="quarter-scale smoke run")
     run_p.add_argument("--out", help="also write the markdown report to this file")
+    run_p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the numeric sanitizer: fail fast on NaN/Inf or dtype "
+        "drift in autograd ops, optimizer steps and compression codecs",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -54,12 +61,16 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.sanitize:
+        from .analysis.sanitize import sanitize
     reports = []
     for name in names:
         module, desc = EXPERIMENTS[name]
         print(f"== {desc} ==", file=sys.stderr)
         t0 = time.perf_counter()
-        report = module.run(fast=args.fast)
+        guard = sanitize() if args.sanitize else contextlib.nullcontext()
+        with guard:
+            report = module.run(fast=args.fast)
         elapsed = time.perf_counter() - t0
         print(report.render())
         print(f"[{name}: {elapsed:.1f}s]\n", file=sys.stderr)

@@ -1,0 +1,68 @@
+"""Static and dynamic correctness tooling for the reproduction.
+
+Three pillars (run together by ``python -m repro.analysis``):
+
+* :mod:`repro.analysis.linter` — repo-specific AST lint rules over
+  ``src/repro/**`` (RNG plumbing, mutable defaults, bare except, ``__all__``
+  consistency, hot-path dtype hygiene, ``Tensor.data`` ownership);
+* :mod:`repro.analysis.locks` — static lock discipline for the parameter
+  server, plus :mod:`repro.analysis.race`, the dynamic ThreadSanitizer-lite
+  harness used by the threaded-trainer tests;
+* :mod:`repro.analysis.sanitize` — opt-in NaN/Inf and dtype-drift hooks
+  over autograd ops, optimizer steps and compression codecs
+  (``python -m repro run <exp> --sanitize``).
+
+See ``docs/analysis.md`` for rule descriptions and suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding
+from .linter import LintConfig, Rule, lint_file, lint_tree
+from .locks import check_lock_discipline
+from .race import CheckedLock, GuardedProxy, RaceMonitor, RaceViolation, instrument_server
+from .sanitize import NumericFault, Sanitizer, sanitize, sanitizer_selfcheck
+
+__all__ = [
+    "CheckedLock",
+    "Finding",
+    "GuardedProxy",
+    "LintConfig",
+    "NumericFault",
+    "RaceMonitor",
+    "RaceViolation",
+    "Rule",
+    "Sanitizer",
+    "check_lock_discipline",
+    "instrument_server",
+    "lint_file",
+    "lint_tree",
+    "run_analysis",
+    "sanitize",
+    "sanitizer_selfcheck",
+]
+
+
+def run_analysis(
+    root: "str | None" = None,
+    lint: bool = True,
+    locks: bool = True,
+    sanitizer: bool = True,
+    config: "LintConfig | None" = None,
+) -> "list[Finding]":
+    """Run every enabled pillar over ``root`` (default: the repro package)."""
+    from pathlib import Path
+
+    if root is None:
+        root = str(Path(__file__).resolve().parent.parent)
+    findings: list[Finding] = []
+    if lint:
+        findings.extend(lint_tree(root, config=config))
+    if locks:
+        findings.extend(check_lock_discipline(root))
+    if sanitizer:
+        findings.extend(
+            Finding("SAN001", "<sanitizer-selfcheck>", 1, problem)
+            for problem in sanitizer_selfcheck()
+        )
+    return findings

@@ -1,0 +1,118 @@
+"""CLI for the analysis suite: ``python -m repro.analysis``.
+
+Runs all three pillars (lint, lock discipline, sanitizer self-check) over
+``src/repro/**`` and exits non-zero when anything is found.  Usage::
+
+    python -m repro.analysis                  # full suite over the package
+    python -m repro.analysis path/to/dir      # lint+locks over another tree
+    python -m repro.analysis --no-sanitize    # skip the runtime self-check
+    python -m repro.analysis --select DTY001,LCK001
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import run_analysis
+from .findings import Finding
+from .rules import rule_index
+
+
+def _default_root() -> str:
+    return str(Path(__file__).resolve().parent.parent)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis", description=__doc__)
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to analyze (default: the repro package)"
+    )
+    parser.add_argument("--no-lint", action="store_true", help="skip the AST lint pillar")
+    parser.add_argument("--no-locks", action="store_true", help="skip the lock-discipline pillar")
+    parser.add_argument(
+        "--no-sanitize", action="store_true", help="skip the runtime sanitizer self-check"
+    )
+    parser.add_argument(
+        "--select", help="comma-separated rule ids to report (default: all)", default=None
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, cls in sorted(rule_index().items()):
+            print(f"{rule_id}  {cls.summary}")
+        print("LCK001  guarded state touched without holding the class lock")
+        print("LCK002  private method touching guarded state has no in-class caller")
+        print("LCK003  lock re-acquired while held (non-reentrant deadlock)")
+        print("SAN001  sanitizer self-check failure")
+        return 0
+
+    roots = args.paths or [_default_root()]
+    for root in roots:
+        if not Path(root).exists():
+            parser.error(f"path does not exist: {root}")
+
+    known_rules = set(rule_index()) | {"LCK001", "LCK002", "LCK003", "SAN001", "PAR001"}
+    if args.select:
+        selected = {r.strip() for r in args.select.split(",")}
+        unknown = selected - known_rules
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    findings: list[Finding] = []
+    for i, root in enumerate(roots):
+        findings.extend(
+            run_analysis(
+                root=root,
+                lint=not args.no_lint,
+                locks=not args.no_locks,
+                # the runtime self-check is tree-independent: run it once
+                sanitizer=not args.no_sanitize and i == 0,
+            )
+        )
+
+    if args.select:
+        findings = [f for f in findings if f.rule in selected]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for f in findings:
+            print(f.format())
+        pillars = [
+            name
+            for flag, name in (
+                (not args.no_lint, "lint"),
+                (not args.no_locks, "lock-discipline"),
+                (not args.no_sanitize, "sanitizer"),
+            )
+            if flag
+        ]
+        status = "FAILED" if findings else "OK"
+        print(f"repro.analysis [{', '.join(pillars)}]: {len(findings)} finding(s) — {status}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Finding records and ``# repro: noqa`` suppression handling.
+
+Every pillar of the analysis suite (lint rules, the lock-discipline
+checker, the sanitizer self-check) reports :class:`Finding` objects so the
+CLI can merge, sort and format them uniformly.  A finding is suppressed by
+placing ``# repro: noqa RULE1,RULE2`` (or a bare ``# repro: noqa``) on the
+offending source line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Finding", "suppressed_rules", "filter_suppressed"]
+
+#: matches ``# repro: noqa`` optionally followed by a rule list
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analysis finding, anchored to a source location."""
+
+    rule: str  #: rule identifier, e.g. ``DTY001``
+    path: str  #: path of the offending file (as given to the checker)
+    line: int  #: 1-based line number
+    message: str
+    col: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def suppressed_rules(source_line: str) -> "set[str] | None":
+    """Rules suppressed on this line, or ``None`` when there is no pragma.
+
+    An empty set means a bare ``# repro: noqa`` — suppress every rule.
+    """
+    m = _NOQA_RE.search(source_line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip() for r in rules.split(",")}
+
+
+def filter_suppressed(findings: "list[Finding]", lines: "list[str]") -> "list[Finding]":
+    """Drop findings whose source line carries a matching noqa pragma."""
+    kept: list[Finding] = []
+    for f in findings:
+        if 1 <= f.line <= len(lines):
+            rules = suppressed_rules(lines[f.line - 1])
+            if rules is not None and (not rules or f.rule in rules):
+                continue
+        kept.append(f)
+    return kept

@@ -1,0 +1,40 @@
+"""Lint rule registry.
+
+Rules live in small themed modules; :func:`default_rules` returns one fresh
+instance of each.  To add a rule: subclass :class:`repro.analysis.linter.Rule`
+in a module here and register the class in :data:`RULE_CLASSES`
+(see ``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+from ..linter import Rule
+from .dtype import MissingDtypeRule
+from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
+from .randomness import ModuleLevelRNGRule
+from .style import BareExceptRule, MutableDefaultRule
+from .tensor import TensorDataMutationRule
+
+__all__ = ["RULE_CLASSES", "default_rules", "rule_index"]
+
+#: every registered rule class, in reporting order
+RULE_CLASSES: "tuple[type[Rule], ...]" = (
+    ModuleLevelRNGRule,
+    MutableDefaultRule,
+    BareExceptRule,
+    UndefinedExportRule,
+    AllConsistencyRule,
+    MissingAllRule,
+    MissingDtypeRule,
+    TensorDataMutationRule,
+)
+
+
+def default_rules() -> "list[Rule]":
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rule_index() -> "dict[str, type[Rule]]":
+    """Map rule id -> class (for ``--select`` and docs)."""
+    return {cls.id: cls for cls in RULE_CLASSES}

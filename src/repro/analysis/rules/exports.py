@@ -1,0 +1,142 @@
+"""EXP001/EXP002/EXP003 — ``__all__`` ↔ public-name consistency.
+
+The public API test (``tests/test_public_api.py``) and the harness import
+surface both trust ``__all__``; drift between it and the actual module
+bindings produces imports that silently stop resolving.
+
+* **EXP001**: a name listed in ``__all__`` is not bound at module top level.
+* **EXP002**: a public top-level ``def``/``class`` is missing from
+  ``__all__`` (only when the module declares one).
+* **EXP003**: a module that defines public functions/classes has no
+  ``__all__`` at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..linter import LintConfig, ModuleInfo, Rule
+
+__all__ = ["AllConsistencyRule", "MissingAllRule", "UndefinedExportRule"]
+
+
+def _top_level_statements(tree: ast.Module) -> "Iterator[ast.stmt]":
+    """Module-body statements, descending into top-level If/Try bodies."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for h in node.handlers:
+                stack.extend(h.body)
+
+
+def _bound_names(tree: ast.Module) -> "set[str]":
+    names: set[str] = set()
+    for node in _top_level_statements(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                for leaf in ast.walk(tgt):
+                    if isinstance(leaf, ast.Name):
+                        names.add(leaf.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for a in node.names:
+                names.add((a.asname or a.name).split(".")[0])
+    return names
+
+
+def _find_all(tree: ast.Module) -> "tuple[ast.stmt | None, list[str] | None]":
+    """The ``__all__`` assignment node and its entries (None if absent/dynamic)."""
+    for node in _top_level_statements(tree):
+        target = None
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name) and tgt.id == "__all__":
+                    target = node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                target = node.value
+        if target is None:
+            continue
+        if isinstance(target, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str) for e in target.elts
+        ):
+            return node, [e.value for e in target.elts]
+        return node, None  # dynamic __all__: present but not checkable
+    return None, None
+
+
+class UndefinedExportRule(Rule):
+    id = "EXP001"
+    summary = "__all__ entries must be bound at module top level"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        node, exported = _find_all(module.tree)
+        if node is None or exported is None:
+            return
+        bound = _bound_names(module.tree)
+        for name in exported:
+            if name not in bound and name != "__version__":
+                yield self.finding(
+                    module, node, f"__all__ lists {name!r} but the module never binds it"
+                )
+
+
+class AllConsistencyRule(Rule):
+    id = "EXP002"
+    summary = "public top-level defs/classes must appear in __all__"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if module.is_entry_point(config):
+            return
+        node, exported = _find_all(module.tree)
+        if node is None or exported is None:
+            return
+        for stmt in _top_level_statements(module.tree):
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+                and not stmt.name.startswith("_")
+                and stmt.name not in exported
+            ):
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"public {'class' if isinstance(stmt, ast.ClassDef) else 'function'} "
+                    f"{stmt.name!r} is not listed in __all__",
+                )
+
+
+class MissingAllRule(Rule):
+    id = "EXP003"
+    summary = "library modules with public defs must declare __all__"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if module.is_entry_point(config):
+            return
+        node, _ = _find_all(module.tree)
+        if node is not None:
+            return
+        public = [
+            stmt
+            for stmt in _top_level_statements(module.tree)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not stmt.name.startswith("_")
+        ]
+        if public:
+            yield self.finding(
+                module,
+                public[0],
+                f"module defines {len(public)} public name(s) but no __all__",
+            )

@@ -1,0 +1,72 @@
+"""TEN001 — ``Tensor.data`` is only mutated inside ``autograd/`` and ``optim/``.
+
+Everything else must go through the blessed ``core.layerops`` helpers
+(``assign_parameters``, ``add_payload``, ``copy_payload``).  Ad-hoc writes
+to ``.data`` bypass the tape, the sanitizer hooks and any future
+device/layout abstraction; concentrating them in two subpackages keeps the
+mutation surface auditable.
+
+Detected shapes::
+
+    x.data = ...          x.data += ...        x.data[i] = ...
+    np.copyto(x.data, v)  layer.add_into(x.data)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..linter import LintConfig, ModuleInfo, Rule
+
+__all__ = ["TensorDataMutationRule"]
+
+#: callables whose first argument is mutated in place
+_MUTATING_CALLS = {"copyto", "add_into"}
+
+
+def _is_data_attr(node: ast.expr) -> bool:
+    """True for ``<expr>.data`` or ``<expr>.data[...]``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    return isinstance(node, ast.Attribute) and node.attr == "data"
+
+
+class TensorDataMutationRule(Rule):
+    id = "TEN001"
+    summary = "Tensor.data mutation only in autograd/ and optim/ (use core.layerops)"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if module.may_mutate_tensor_data(config):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                if (
+                    isinstance(fn, ast.Attribute)
+                    and fn.attr in _MUTATING_CALLS
+                    and node.args
+                    and _is_data_attr(node.args[0])
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{fn.attr}(...) writes into a .data buffer outside "
+                        "autograd/optim; use core.layerops helpers",
+                    )
+                continue
+            else:
+                continue
+            for tgt in targets:
+                if _is_data_attr(tgt):
+                    yield self.finding(
+                        module,
+                        tgt,
+                        "in-place mutation of Tensor.data outside autograd/optim; "
+                        "use core.layerops helpers",
+                    )

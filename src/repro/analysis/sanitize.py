@@ -1,0 +1,280 @@
+"""Opt-in numeric sanitizer: NaN/Inf and dtype-drift detection at the op level.
+
+Aggressive dual-way sparsification plus SAMomentum's ``1/m`` rescale is
+exactly the kind of numerics that degrades silently — compression bugs show
+up as slow accuracy loss, not crashes.  ``with sanitize():`` instruments the
+three numeric surfaces of the system and reports the *offending op*, not
+the eventual symptom:
+
+* **autograd** — every ``Tensor`` op output and every accumulated gradient;
+* **optim**    — parameters after each optimizer ``step()``;
+* **compression** — sparsifier ``mask()`` inputs and codec
+  ``to_dense()``/``add_into()`` outputs.
+
+Checks: non-finite values (NaN/Inf) always; *dtype drift* — a floating
+array whose dtype differs from the stream's established dtype (float64
+creep / float32 truncation) — once a baseline dtype is known (taken from
+the first array seen, or pinned via ``expected_dtype``).
+
+The context is reentrant-safe per instance and restores every patched
+callable on exit.  ``on_fault='record'`` collects faults instead of
+raising, for harness sweeps where one bad op should not kill the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["NumericFault", "Sanitizer", "sanitize", "sanitizer_selfcheck"]
+
+
+class NumericFault(RuntimeError):
+    """A numeric invariant violated by one op."""
+
+    def __init__(self, op: str, kind: str, detail: str) -> None:
+        super().__init__(f"[{kind}] in {op}: {detail}")
+        self.op = op
+        self.kind = kind  #: ``'non-finite'`` or ``'dtype-drift'``
+        self.detail = detail
+
+
+def _caller_op(depth: int = 2) -> str:
+    """Qualified name of the frame that invoked the patched op."""
+    frame = sys._getframe(depth)
+    code = frame.f_code
+    return getattr(code, "co_qualname", code.co_name)
+
+
+class Sanitizer:
+    """Context manager installing the numeric checks; see module docstring."""
+
+    def __init__(
+        self,
+        expected_dtype: "np.dtype | type | None" = None,
+        check_autograd: bool = True,
+        check_optim: bool = True,
+        check_compression: bool = True,
+        on_fault: str = "raise",
+    ) -> None:
+        if on_fault not in ("raise", "record"):
+            raise ValueError(f"on_fault must be 'raise' or 'record', got {on_fault!r}")
+        self.expected_dtype = np.dtype(expected_dtype) if expected_dtype is not None else None
+        self.check_autograd = check_autograd
+        self.check_optim = check_optim
+        self.check_compression = check_compression
+        self.on_fault = on_fault
+        self.faults: "list[NumericFault]" = []
+        self._patches: "list[tuple[object, str, object]]" = []
+        self._inferred_dtype: "np.dtype | None" = self.expected_dtype
+
+    # ------------------------------------------------------------------
+    def check_array(self, arr: object, op: str) -> None:
+        """Check one array against the sanitizer's invariants."""
+        if not isinstance(arr, np.ndarray):
+            return
+        if np.issubdtype(arr.dtype, np.floating):
+            if self._inferred_dtype is None:
+                self._inferred_dtype = arr.dtype
+            elif arr.dtype != self._inferred_dtype:
+                self._fault(
+                    op,
+                    "dtype-drift",
+                    f"array is {arr.dtype}, stream dtype is {self._inferred_dtype}",
+                )
+            if arr.size and not np.isfinite(arr).all():
+                n_nan = int(np.isnan(arr).sum())
+                n_inf = int(np.isinf(arr).sum())
+                self._fault(op, "non-finite", f"{n_nan} NaN / {n_inf} Inf of {arr.size} values")
+
+    def _fault(self, op: str, kind: str, detail: str) -> None:
+        fault = NumericFault(op, kind, detail)
+        self.faults.append(fault)
+        if self.on_fault == "raise":
+            raise fault
+
+    # ------------------------------------------------------------------
+    def _patch(self, owner: object, name: str, wrapper: "Callable[..., object]") -> None:
+        self._patches.append((owner, name, owner.__dict__[name]))
+        setattr(owner, name, wrapper)
+
+    def _install_autograd(self) -> None:
+        from ..autograd.tensor import Tensor
+
+        sanitizer = self
+        orig_make = Tensor._make
+        orig_accumulate = Tensor._accumulate
+
+        def make(self, data, parents, backward):
+            out = orig_make(self, data, parents, backward)
+            sanitizer.check_array(out.data, _caller_op())
+            return out
+
+        def accumulate(self, grad):
+            orig_accumulate(self, grad)
+            sanitizer.check_array(self.grad, _caller_op())
+
+        self._patch(Tensor, "_make", make)
+        self._patch(Tensor, "_accumulate", accumulate)
+
+    def _install_optim(self) -> None:
+        from .. import optim
+
+        sanitizer = self
+        for cls_name in ("SGD", "LARS"):
+            cls = getattr(optim, cls_name, None)
+            if cls is None or "step" not in cls.__dict__:
+                continue
+            orig_step = cls.__dict__["step"]
+
+            def step(self, _orig=orig_step, _name=cls_name):
+                _orig(self)
+                for p in self.params:
+                    sanitizer.check_array(p.data, f"{_name}.step")
+
+            self._patch(cls, "step", step)
+
+    def _install_compression(self) -> None:
+        from ..compression import coding
+        from ..compression.base import Sparsifier
+
+        sanitizer = self
+
+        def subclasses(cls):
+            for sub in cls.__subclasses__():
+                yield sub
+                yield from subclasses(sub)
+
+        for cls in subclasses(Sparsifier):
+            if "mask" not in cls.__dict__:
+                continue
+            orig_mask = cls.__dict__["mask"]
+
+            def mask(self, arr, _orig=orig_mask, _name=cls.__name__):
+                sanitizer.check_array(arr, f"{_name}.mask")
+                return _orig(self, arr)
+
+            self._patch(cls, "mask", mask)
+
+        for codec_name in ("SparseTensor", "DenseTensor", "BitmapTensor", "QuantizedSparseTensor"):
+            cls = getattr(coding, codec_name, None)
+            if cls is None:
+                continue
+            if "to_dense" in cls.__dict__:
+                orig_td = cls.__dict__["to_dense"]
+
+                def to_dense(self, _orig=orig_td, _name=codec_name):
+                    out = _orig(self)
+                    sanitizer.check_array(out, f"{_name}.to_dense")
+                    return out
+
+                self._patch(cls, "to_dense", to_dense)
+            if "add_into" in cls.__dict__:
+                orig_ai = cls.__dict__["add_into"]
+
+                def add_into(self, dest, _orig=orig_ai, _name=codec_name):
+                    _orig(self, dest)
+                    sanitizer.check_array(dest, f"{_name}.add_into")
+
+                self._patch(cls, "add_into", add_into)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Sanitizer":
+        if self._patches:
+            raise RuntimeError("Sanitizer context is not reentrant; create a new one")
+        if self.check_autograd:
+            self._install_autograd()
+        if self.check_optim:
+            self._install_optim()
+        if self.check_compression:
+            self._install_compression()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        while self._patches:
+            owner, name, orig = self._patches.pop()
+            setattr(owner, name, orig)
+
+
+def sanitize(
+    expected_dtype: "np.dtype | type | None" = None,
+    check_autograd: bool = True,
+    check_optim: bool = True,
+    check_compression: bool = True,
+    on_fault: str = "raise",
+) -> Sanitizer:
+    """Build a :class:`Sanitizer` context (``with sanitize() as s: ...``)."""
+    return Sanitizer(
+        expected_dtype=expected_dtype,
+        check_autograd=check_autograd,
+        check_optim=check_optim,
+        check_compression=check_compression,
+        on_fault=on_fault,
+    )
+
+
+def sanitizer_selfcheck() -> "list[str]":
+    """Verify the sanitizer both passes clean numerics and trips on bad ones.
+
+    Returns a list of problems (empty == healthy).  This is the third CLI
+    pillar: it proves the hooks are actually attached to the current code —
+    a refactor that renames ``Tensor._make`` or ``Sparsifier.mask`` breaks
+    detection silently otherwise.
+    """
+    from ..autograd.tensor import Tensor
+    from ..compression.coding import SparseTensor
+    from ..compression.topk import TopKSparsifier
+    from ..nn.module import Parameter
+    from ..optim.sgd import SGD
+
+    problems: list[str] = []
+
+    # 1) clean numerics must pass untouched
+    try:
+        with sanitize():
+            a = Tensor(np.ones(8, dtype=np.float64), requires_grad=True)
+            loss = (a * 2.0).sum()
+            loss.backward()
+            p = Parameter(np.ones(8, dtype=np.float64))
+            p.grad = np.full(8, 0.5, dtype=np.float64)
+            SGD([p], lr=0.1).step()
+            arr = np.linspace(-1.0, 1.0, 64, dtype=np.float64)
+            sp = TopKSparsifier(0.25)
+            dense = SparseTensor(
+                np.flatnonzero(sp.mask(arr)).astype(np.int64),
+                arr[sp.mask(arr)],
+                arr.shape,
+            ).to_dense()
+            assert dense.shape == arr.shape
+    except NumericFault as fault:
+        problems.append(f"sanitizer flagged clean numerics: {fault}")
+
+    # 2) each hook family must trip on a seeded NaN
+    bad = np.array([1.0, np.nan, 3.0], dtype=np.float64)
+    with sanitize(on_fault="record") as s:
+        Tensor(bad, requires_grad=True) * 2.0
+        autograd_hits = len(s.faults)
+        TopKSparsifier(0.5).mask(bad)
+        compression_hits = len(s.faults) - autograd_hits
+        p = Parameter(np.ones(3, dtype=np.float64))
+        p.grad = bad
+        SGD([p], lr=0.1).step()
+        optim_hits = len(s.faults) - autograd_hits - compression_hits
+    if not autograd_hits:
+        problems.append("autograd hook did not fire on a NaN tensor op")
+    if not compression_hits:
+        problems.append("compression hook did not fire on a NaN sparsifier input")
+    if not optim_hits:
+        problems.append("optim hook did not fire on a NaN gradient step")
+
+    # 3) dtype drift must be detected
+    with sanitize(expected_dtype=np.float64, on_fault="record") as s:
+        Tensor(np.ones(4, dtype=np.float64)) + Tensor(np.ones(4, dtype=np.float64))
+        before = len(s.faults)
+        s.check_array(np.ones(4, dtype=np.float32), "selfcheck.float32-creep")
+        if len(s.faults) == before:
+            problems.append("dtype-drift check did not fire on a float32 array")
+
+    return problems

@@ -18,6 +18,7 @@ __all__ = [
     "INDEX_BYTES",
     "HEADER_BYTES",
     "SparseTensor",
+    "DenseTensor",
     "BitmapTensor",
     "QuantizedSparseTensor",
     "encode_sparse",
@@ -61,7 +62,7 @@ class SparseTensor:
         return HEADER_BYTES + self.nnz * (VALUE_BYTES + INDEX_BYTES)
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(int(np.prod(self.shape)))
+        out = np.zeros(int(np.prod(self.shape)), dtype=np.float64)
         out[self.indices] = self.values
         return out.reshape(self.shape)
 
@@ -142,7 +143,7 @@ class BitmapTensor:
         return np.flatnonzero(bits[: int(np.prod(self.shape))])
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(int(np.prod(self.shape)))
+        out = np.zeros(int(np.prod(self.shape)), dtype=np.float64)
         out[self._flat_indices()] = self.values
         return out.reshape(self.shape)
 
@@ -184,7 +185,7 @@ class QuantizedSparseTensor:
         return HEADER_BYTES + VALUE_BYTES + self.nnz * INDEX_BYTES + (2 * self.nnz + 7) // 8
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(int(np.prod(self.shape)))
+        out = np.zeros(int(np.prod(self.shape)), dtype=np.float64)
         out[self.indices] = self.signs * self.scale
         return out.reshape(self.shape)
 

@@ -35,6 +35,8 @@ __all__ = [
     "TernGradStrategy",
     "RandomDroppingStrategy",
     "DGSTernGradStrategy",
+    "QSGDStrategy",
+    "build_extension_strategy",
     "register_extensions",
 ]
 

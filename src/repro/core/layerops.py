@@ -24,6 +24,8 @@ __all__ = [
     "gradients_of",
     "parameters_of",
     "assign_parameters",
+    "add_payload",
+    "copy_payload",
     "add_scaled",
     "total_size",
     "total_nbytes",
@@ -61,7 +63,35 @@ def parameters_of(model: Module) -> "OrderedDict[str, np.ndarray]":
 def assign_parameters(model: Module, values: Mapping[str, np.ndarray]) -> None:
     """Copy ``values`` into the model's parameters in place."""
     for name, p in model.named_parameters():
-        np.copyto(p.data, values[name])
+        np.copyto(p.data, values[name])  # repro: noqa TEN001 — blessed mutation site
+
+
+def add_payload(params: Mapping[str, object], payload: Mapping[str, object], scale: float = 1.0) -> None:
+    """Accumulate a per-layer update into parameters, in place.
+
+    ``params`` maps layer name → Parameter (anything with ``.data``);
+    ``payload`` layers may be dense ``np.ndarray`` or any wire codec with
+    ``add_into``/``to_dense``.  This (with :func:`copy_payload` and
+    :func:`assign_parameters`) is the blessed mutation path for parameter
+    data outside ``autograd/``/``optim/`` — see lint rule TEN001.
+    """
+    for name, layer in payload.items():
+        dest = params[name].data
+        if isinstance(layer, np.ndarray):
+            if scale == 1.0:
+                dest += layer
+            else:
+                dest += scale * layer
+        elif scale == 1.0:
+            layer.add_into(dest)
+        else:
+            dest += scale * layer.to_dense()
+
+
+def copy_payload(params: Mapping[str, object], values: Mapping[str, np.ndarray]) -> None:
+    """Overwrite parameters with ``values`` layerwise (dense replacement)."""
+    for name, arr in values.items():
+        np.copyto(params[name].data, arr)  # repro: noqa TEN001 — blessed mutation site
 
 
 def add_scaled(

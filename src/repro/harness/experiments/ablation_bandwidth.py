@@ -16,6 +16,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 BANDWIDTHS_GBPS = (0.5, 1.0, 2.0, 5.0, 10.0, 25.0)
 
 

@@ -13,6 +13,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 METHODS = ("asgd", "dgs", "dgs_terngrad", "terngrad", "qsgd", "random_dropping")
 
 

@@ -15,6 +15,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import mean_accuracy, resolve_fast, scaled_batch
 
+__all__ = ["run"]
+
 MOMENTA = (0.3, 0.45, 0.6, 0.7)
 
 

@@ -14,6 +14,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 RATIOS = (0.01, 0.02, 0.05, 0.10, 0.25)
 
 

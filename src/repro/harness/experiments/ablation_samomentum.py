@@ -12,6 +12,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import METHOD_LABELS, mean_accuracy, resolve_fast
 
+__all__ = ["run"]
+
 COMPARISONS = (
     ("asgd", "gd_async", "dual-way sparsification"),
     ("gd_async", "dgs", "SAMomentum"),

@@ -13,6 +13,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 
 def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)) -> ExperimentReport:
     fast = resolve_fast(fast)

@@ -14,6 +14,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast, scaled_batch, scaling_hyper
 
+__all__ = ["run"]
+
 
 def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)) -> ExperimentReport:
     fast = resolve_fast(fast)

@@ -20,6 +20,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 
 def _cluster(num_workers: int, heterogeneity: float, model, seed: int = 0) -> ClusterConfig:
     from ..config import RESNET18_WIRE_BYTES

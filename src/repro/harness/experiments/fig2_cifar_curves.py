@@ -11,6 +11,12 @@ from ..report import ExperimentReport
 from ..runners import run_distributed, run_msgd
 from .common import METHOD_LABELS, resolve_fast
 
+__all__ = [
+    "collect_curves",
+    "build_report",
+    "run",
+]
+
 
 def collect_curves(
     workload_name: str,

@@ -5,6 +5,8 @@ from __future__ import annotations
 from .common import resolve_fast
 from .fig2_cifar_curves import build_report
 
+__all__ = ["run"]
+
 
 def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)):
     fast = resolve_fast(fast)

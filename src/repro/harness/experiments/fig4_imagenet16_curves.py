@@ -9,6 +9,8 @@ from ..config import get_workload
 from .common import resolve_fast, scaling_hyper
 from .fig2_cifar_curves import build_report
 
+__all__ = ["run"]
+
 
 def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)):
     fast = resolve_fast(fast)

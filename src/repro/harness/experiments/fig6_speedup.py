@@ -18,6 +18,8 @@ from ..report import ExperimentReport
 from ..runners import run_distributed
 from .common import resolve_fast
 
+__all__ = ["run"]
+
 WORKER_COUNTS = (1, 2, 4, 8, 16)
 PAPER_NOTE = (
     "Paper: with 1 Gbps ASGD achieves ~1× at 16 workers while DGS achieves 12.6×; "

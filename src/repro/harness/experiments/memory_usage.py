@@ -17,6 +17,8 @@ from ..config import RESNET18_WIRE_BYTES, get_workload
 from ..report import ExperimentReport
 from .common import METHOD_LABELS, resolve_fast
 
+__all__ = ["run"]
+
 
 def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)) -> ExperimentReport:
     fast = resolve_fast(fast)

@@ -6,6 +6,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import METHOD_LABELS, mean_accuracy, resolve_fast
 
+__all__ = ["run"]
+
 PAPER_ROWS = [
     ("Cifar10", "MSGD", 1, "93.08%"),
     ("Cifar10", "ASGD", 4, "90.74%"),

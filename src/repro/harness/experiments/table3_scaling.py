@@ -6,6 +6,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import METHOD_LABELS, mean_accuracy, resolve_fast, scaled_batch, scaling_hyper
 
+__all__ = ["run"]
+
 PAPER_ROWS = [
     (1, 256, "MSGD", "93.08%", "-"),
     (1, 256, "ASGD", "91.54%", "-1.54%"),

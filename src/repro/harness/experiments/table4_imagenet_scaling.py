@@ -6,6 +6,8 @@ from ..config import get_workload
 from ..report import ExperimentReport
 from .common import METHOD_LABELS, mean_accuracy, resolve_fast, scaling_hyper
 
+__all__ = ["run"]
+
 PAPER_ROWS = [
     (1, "MSGD", "69.40%", "-"),
     (4, "ASGD", "66.68%", "-2.72%"),

@@ -10,6 +10,8 @@ from __future__ import annotations
 from ...core.methods import METHODS
 from ..report import ExperimentReport
 
+__all__ = ["run"]
+
 PAPER_ROWS = [
     ("ASGD", "N", "N", "N", "N"),
     ("GD-async / DGS without SAMomentum",

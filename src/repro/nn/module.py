@@ -111,7 +111,7 @@ class Module:
             else:
                 if name not in params:
                     raise KeyError(f"unknown parameter {name!r}")
-                np.copyto(params[name].data, value)
+                np.copyto(params[name].data, value)  # repro: noqa TEN001 — checkpoint restore
 
     def _load_buffer(self, dotted: str, value: np.ndarray) -> None:
         parts = dotted.split(".")

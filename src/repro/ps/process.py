@@ -30,9 +30,7 @@ from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait
 from typing import Callable
 
-import numpy as np
-
-from ..core.layerops import parameters_of
+from ..core.layerops import assign_parameters, parameters_of
 from ..core.methods import Hyper, MethodSpec, get_method
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
@@ -75,8 +73,7 @@ def _worker_main(
     seed: int,
 ) -> None:
     model = model_factory()
-    for (name, p) in model.named_parameters():
-        np.copyto(p.data, theta0[name])
+    assign_parameters(model, theta0)
     shapes = {name: arr.shape for name, arr in theta0.items()}
     loader = DataLoader(dataset, batch_size, seed=seed)
     node = WorkerNode(

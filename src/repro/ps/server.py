@@ -113,8 +113,12 @@ class ParameterServer:
 
     @property
     def timestamp(self) -> int:
-        return self.tracker.t
+        with self._lock:
+            return self.tracker.t
 
     def server_state_bytes(self) -> int:
         """Server memory: M + all v_k (+ θ0 kept for evaluation)."""
-        return self.tracker.server_state_bytes() + sum(a.nbytes for a in self.theta0.values())
+        with self._lock:
+            return self.tracker.server_state_bytes() + sum(
+                a.nbytes for a in self.theta0.values()
+            )

@@ -13,9 +13,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
-import numpy as np
-
-from ..core.layerops import parameters_of
+from ..core.layerops import assign_parameters, parameters_of
 from ..core.methods import Hyper, MethodSpec, get_method
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
@@ -92,8 +90,7 @@ class ThreadedTrainer:
         for w in range(num_workers):
             model = model_factory()
             # All replicas start from the same θ0.
-            for (name, p), src in zip(model.named_parameters(), theta0.values()):
-                np.copyto(p.data, src)
+            assign_parameters(model, theta0)
             self.workers.append(
                 WorkerNode(
                     w,

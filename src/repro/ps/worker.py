@@ -13,7 +13,7 @@ from typing import Callable
 import numpy as np
 
 from ..autograd import Tensor
-from ..core.layerops import gradients_of
+from ..core.layerops import add_payload, copy_payload, gradients_of
 from ..core.methods import Hyper, MethodSpec
 from ..core.strategies import WorkerStrategy
 from ..data.loader import BatchIterator
@@ -84,14 +84,9 @@ class WorkerNode:
         * :class:`ModelMessage`: replace the local model (vanilla ASGD).
         """
         if isinstance(reply, DiffMessage):
-            for name, layer in reply.payload.items():
-                if isinstance(layer, np.ndarray):  # decoded dense layers
-                    self._params[name].data += layer
-                else:
-                    layer.add_into(self._params[name].data)
+            add_payload(self._params, reply.payload)
         elif isinstance(reply, ModelMessage):
-            for name, arr in reply.payload.items():
-                np.copyto(self._params[name].data, arr)
+            copy_payload(self._params, reply.payload)
         else:
             raise TypeError(f"unexpected reply type {type(reply).__name__}")
 

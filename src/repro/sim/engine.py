@@ -20,7 +20,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.layerops import parameters_of
+from ..core.layerops import assign_parameters, parameters_of
 from ..core.methods import Hyper, MethodSpec, get_method
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
@@ -156,8 +156,7 @@ class SimulatedTrainer:
         self.workers: list[WorkerNode] = []
         for w in range(num_workers):
             model = ref_model if w == 0 else model_factory()
-            for (name, p), src in zip(model.named_parameters(), theta0.values()):
-                np.copyto(p.data, src)
+            assign_parameters(model, theta0)
             self.workers.append(
                 WorkerNode(
                     w,

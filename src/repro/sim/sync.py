@@ -25,7 +25,7 @@ from typing import Callable
 import numpy as np
 
 from ..compression.coding import SparseTensor
-from ..core.layerops import parameters_of
+from ..core.layerops import add_payload, parameters_of
 from ..core.methods import Hyper, MethodSpec, get_method
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
@@ -160,8 +160,7 @@ class SynchronousTrainer:
                         agg[name] += layer.to_dense()
                     else:
                         agg[name] += layer
-            for name, p in self._params.items():
-                p.data -= agg[name]
+            add_payload(self._params, agg, scale=-1.0)
 
             # 5) Broadcast the dense aggregated update, one transfer/worker.
             bcast_bytes = payload_dense_nbytes(agg)

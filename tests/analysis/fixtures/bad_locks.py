@@ -1,0 +1,32 @@
+"""Deliberately broken lock discipline for the static-checker tests.
+
+Never imported — parsed only.  Expected findings:
+
+* ``put``        — 2 × LCK001 (``state`` and ``_hits`` touched unlocked)
+* ``_orphan``    — 1 × LCK002 (private, touches state, never called)
+* ``locked_get`` — 1 × LCK003 (calls a lock-taker while holding the lock)
+"""
+
+import threading
+
+
+class BadServer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        self.state[key] = value
+        self._hits += 1
+
+    def get_unsafe(self, key):
+        with self._lock:
+            return self.state.get(key)
+
+    def locked_get(self, key):
+        with self._lock:
+            return self.get_unsafe(key)
+
+    def _orphan(self):
+        return self._hits

@@ -1,0 +1,23 @@
+"""Clean twin of ``bad_lint.py`` — zero findings expected.
+
+Demonstrates the compliant idioms: passed-in Generator, None default,
+typed allocation, explicit exception, complete ``__all__``, and one
+deliberate ``# repro: noqa`` suppression.
+"""
+
+import numpy as np
+
+__all__ = ["draw", "touch"]
+
+
+def draw(rng: np.random.Generator, n=None):
+    n = 4 if n is None else n
+    try:
+        return np.zeros(n, dtype=np.float64) + rng.standard_normal(n)
+    except ValueError:
+        return None
+
+
+def touch(t):
+    t.data += 1.0  # repro: noqa TEN001 — fixture-blessed mutation
+    return t

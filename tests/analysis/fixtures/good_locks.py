@@ -1,0 +1,32 @@
+"""Compliant lock discipline — zero findings expected.
+
+``_put_locked`` shows the private-called-under-lock pattern: it touches
+guarded state without acquiring the lock itself, which is legal because its
+only in-class caller holds it.
+"""
+
+import threading
+
+
+class GoodServer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.state = {}
+        self._hits = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key, value):
+        self.state[key] = value
+        self._hits += 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self.state)
+
+    @property
+    def hits(self):
+        with self._lock:
+            return self._hits

@@ -1,0 +1,19 @@
+"""A deliberately racy ParameterServer for the dynamic harness tests.
+
+``handle`` peeks at the staleness meter and tracker *before* entering the
+guarded base implementation — exactly the bug class the
+:func:`repro.analysis.race.instrument_server` harness exists to catch.
+Loaded via importlib by ``test_race.py``; never imported by product code.
+"""
+
+from repro.ps.server import ParameterServer
+
+__all__ = ["RacyParameterServer"]
+
+
+class RacyParameterServer(ParameterServer):
+    def handle(self, msg):
+        # BUG (intentional): unguarded reads/writes of lock-protected state.
+        stale = self.tracker.staleness(msg.worker_id)
+        self.staleness_meter.update(stale)
+        return super().handle(msg)

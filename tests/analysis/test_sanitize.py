@@ -1,0 +1,109 @@
+"""Numeric sanitizer tests: fault detection, record mode, clean restore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitize import NumericFault, Sanitizer, sanitize, sanitizer_selfcheck
+from repro.autograd.tensor import Tensor
+from repro.compression.coding import SparseTensor
+from repro.compression.topk import TopKSparsifier
+from repro.nn.module import Parameter
+from repro.optim.sgd import SGD
+
+BAD = np.array([1.0, np.nan, 3.0], dtype=np.float64)
+
+
+class TestFaultDetection:
+    def test_autograd_nan_raises_at_the_op(self):
+        with sanitize():
+            t = Tensor(BAD.copy(), requires_grad=True)
+            with pytest.raises(NumericFault) as exc:
+                t * 2.0
+        assert exc.value.kind == "non-finite"
+        assert "NaN" in str(exc.value)
+
+    def test_optimizer_step_checks_updated_params(self):
+        p = Parameter(np.ones(3, dtype=np.float64))
+        p.grad = BAD.copy()
+        with sanitize():
+            with pytest.raises(NumericFault) as exc:
+                SGD([p], lr=0.1).step()
+        assert exc.value.op == "SGD.step"
+
+    def test_sparsifier_mask_checks_input(self):
+        with sanitize():
+            with pytest.raises(NumericFault) as exc:
+                TopKSparsifier(0.5).mask(BAD)
+        assert exc.value.op == "TopKSparsifier.mask"
+
+    def test_codec_to_dense_checks_output(self):
+        codec = SparseTensor(np.array([1], dtype=np.int64), np.array([np.inf]), (3,))
+        with sanitize():
+            with pytest.raises(NumericFault) as exc:
+                codec.to_dense()
+        assert exc.value.op == "SparseTensor.to_dense"
+        assert "Inf" in str(exc.value)
+
+    def test_dtype_drift_detected_against_pinned_dtype(self):
+        with sanitize(expected_dtype=np.float64, on_fault="record") as s:
+            s.check_array(np.ones(4, dtype=np.float32), "test.creep")
+        assert [f.kind for f in s.faults] == ["dtype-drift"]
+        assert "float32" in s.faults[0].detail
+
+    def test_integer_arrays_are_ignored(self):
+        with sanitize(expected_dtype=np.float64, on_fault="record") as s:
+            s.check_array(np.arange(4, dtype=np.int64), "test.indices")
+        assert s.faults == []
+
+
+class TestRecordMode:
+    def test_faults_accumulate_without_raising(self):
+        with sanitize(on_fault="record") as s:
+            t = Tensor(BAD.copy(), requires_grad=True)
+            t * 2.0
+            t + t
+        assert len(s.faults) >= 2
+        assert all(f.kind == "non-finite" for f in s.faults)
+
+    def test_invalid_on_fault_rejected(self):
+        with pytest.raises(ValueError):
+            Sanitizer(on_fault="explode")
+
+
+class TestPatchLifecycle:
+    def test_hooks_removed_on_exit(self):
+        make_before = Tensor.__dict__["_make"]
+        step_before = SGD.__dict__["step"]
+        with sanitize():
+            assert Tensor.__dict__["_make"] is not make_before
+            assert SGD.__dict__["step"] is not step_before
+        assert Tensor.__dict__["_make"] is make_before
+        assert SGD.__dict__["step"] is step_before
+        # and a NaN op no longer raises after exit
+        Tensor(BAD.copy()) * 2.0
+
+    def test_hooks_removed_even_when_fault_raises(self):
+        make_before = Tensor.__dict__["_make"]
+        with pytest.raises(NumericFault):
+            with sanitize():
+                Tensor(BAD.copy(), requires_grad=True) * 2.0
+        assert Tensor.__dict__["_make"] is make_before
+
+    def test_context_is_not_reentrant(self):
+        s = sanitize()
+        with s:
+            with pytest.raises(RuntimeError):
+                s.__enter__()
+
+    def test_clean_training_numerics_pass(self):
+        with sanitize():
+            a = Tensor(np.ones((4, 3), dtype=np.float64), requires_grad=True)
+            loss = (a * 0.5).sum()
+            loss.backward()
+            assert np.isfinite(a.grad).all()
+
+
+def test_selfcheck_is_healthy():
+    assert sanitizer_selfcheck() == []
