@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench-smoke
+.PHONY: lint test bench-smoke trace-smoke
 
 ## Static analysis: AST lint + lock discipline + sanitizer self-check.
 lint:
@@ -14,3 +14,11 @@ test:
 ## Quarter-scale pass over every paper table/figure (~2 min).
 bench-smoke:
 	REPRO_SCALE=fast $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## Traced 2-worker threaded + simulated runs, then validate the export
+## (repro.obs convert exits non-zero on any schema violation).
+trace-smoke:
+	$(PYTHON) -m repro.obs smoke --jsonl .trace-smoke.jsonl --workers 2
+	$(PYTHON) -m repro.obs convert .trace-smoke.jsonl .trace-smoke.json
+	$(PYTHON) -m repro.obs summary .trace-smoke.jsonl
+	rm -f .trace-smoke.jsonl .trace-smoke.json

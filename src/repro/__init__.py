@@ -10,14 +10,16 @@ Public surface:
 * ``repro.data`` / ``repro.optim`` / ``repro.metrics`` — supporting pieces
 * ``repro.harness`` — ready-made experiment runners for every table/figure
 * ``repro.analysis`` — static analysis + runtime sanitizers for this repo
+* ``repro.obs`` — unified tracing + metrics (spans, Chrome trace, profiling)
 """
 
-from . import analysis, autograd, compression, core, data, harness, metrics, nn, optim, ps, sim
+from . import analysis, autograd, compression, core, data, harness, metrics, nn, obs, optim, ps, sim
 
 __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "obs",
     "autograd",
     "nn",
     "data",

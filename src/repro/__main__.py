@@ -53,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
         help="run under the numeric sanitizer: fail fast on NaN/Inf or dtype "
         "drift in autograd ops, optimizer steps and compression codecs",
     )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="trace the run with repro.obs (hot-path profiling on): write "
+        "Chrome trace JSON, or raw records if PATH ends in .jsonl, and "
+        "print the per-phase summary to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -63,18 +70,38 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if args.sanitize:
         from .analysis.sanitize import sanitize
+    tracer = None
+    obs_scope = contextlib.ExitStack()
+    if args.trace:
+        from .obs import Tracer, profile_hot_paths, use_tracer
+
+        tracer = Tracer(meta={"experiments": " ".join(names), "fast": bool(args.fast)})
+        obs_scope.enter_context(use_tracer(tracer))
+        obs_scope.enter_context(profile_hot_paths())
     reports = []
-    for name in names:
-        module, desc = EXPERIMENTS[name]
-        print(f"== {desc} ==", file=sys.stderr)
-        t0 = time.perf_counter()
-        guard = sanitize() if args.sanitize else contextlib.nullcontext()
-        with guard:
-            report = module.run(fast=args.fast)
-        elapsed = time.perf_counter() - t0
-        print(report.render())
-        print(f"[{name}: {elapsed:.1f}s]\n", file=sys.stderr)
-        reports.append(report)
+    with obs_scope:
+        for name in names:
+            module, desc = EXPERIMENTS[name]
+            print(f"== {desc} ==", file=sys.stderr)
+            t0 = time.perf_counter()
+            guard = sanitize() if args.sanitize else contextlib.nullcontext()
+            with guard:
+                report = module.run(fast=args.fast)
+            elapsed = time.perf_counter() - t0
+            print(report.render())
+            print(f"[{name}: {elapsed:.1f}s]\n", file=sys.stderr)
+            reports.append(report)
+
+    if tracer is not None:
+        from .obs import render_summary, write_chrome_trace
+
+        records = [{"type": "meta", **tracer.meta}, *tracer.records()]
+        if str(args.trace).endswith(".jsonl"):
+            tracer.dump_jsonl(args.trace)
+        else:
+            write_chrome_trace(args.trace, records)
+        print(render_summary(records), file=sys.stderr)
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
 
     if args.out:
         with open(args.out, "w") as fh:

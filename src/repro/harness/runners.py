@@ -7,6 +7,7 @@ from typing import Mapping
 
 from ..core.methods import Hyper, get_method
 from ..harness.local import LocalResult, LocalTrainer
+from ..obs.tracer import NullTracer, Tracer
 from ..sim.cluster import ClusterConfig
 from ..sim.engine import SimResult, SimulatedTrainer
 from .config import WorkloadSpec, paper_cluster
@@ -30,9 +31,15 @@ def run_distributed(
     eval_every: int | None = None,
     staleness_damping: bool = False,
     fast: bool | None = None,
+    tracer: "Tracer | NullTracer | None" = None,
     seed: int = 0,
 ) -> SimResult:
-    """Simulate one distributed run of ``method`` on ``workload``."""
+    """Simulate one distributed run of ``method`` on ``workload``.
+
+    ``tracer``: a :class:`repro.obs.Tracer` to stamp with virtual-time
+    spans (defaults to the ambient tracer, so ``use_tracer`` + the CLI's
+    ``--trace`` capture experiment runs without plumbing).
+    """
     dataset = workload.dataset(fast)
     model_factory = workload.model_factory(seed=seed)
     bs = batch_size if batch_size is not None else workload.batch_size
@@ -58,6 +65,7 @@ def run_distributed(
         secondary_compression=secondary_compression,
         eval_every=eval_every,
         staleness_damping=staleness_damping,
+        tracer=tracer,
         seed=seed,
     )
     return trainer.run()

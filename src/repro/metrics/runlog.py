@@ -5,6 +5,17 @@ record (step, virtual time, worker, loss, staleness, bytes).  Records go
 to memory and optionally to a ``.jsonl`` file, and can be reloaded into
 :class:`~repro.metrics.curves.Curve` objects for plotting — the
 offline-friendly equivalent of a TensorBoard scalar stream.
+
+.. deprecated::
+    :class:`repro.obs.ObsLogger` supersedes this class: same
+    ``log_step`` signature (trainers accept either), plus span/metric
+    records in the same stream and the ``python -m repro.obs``
+    exporters.  ``RunLogger`` stays for existing call sites; new code
+    should use ``repro.obs``.
+
+Use it as a context manager (``with RunLogger(path) as log: ...``) or
+call :meth:`RunLogger.close` — the file handle is real and records are
+flushed on every write, so a crashed run still leaves a readable log.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ class RunLogger:
         self.records.append(record)
         if self._fh is not None:
             self._fh.write(json.dumps(record) + "\n")
+            self._fh.flush()
 
     def log_step(
         self,
@@ -55,6 +67,10 @@ class RunLogger:
             fields["staleness"] = int(staleness)
         fields.update(extra)
         self.log(record_type="step", **fields)
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:

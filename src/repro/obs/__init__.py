@@ -1,0 +1,66 @@
+"""Unified tracing + metrics for every execution layer (``repro.obs``).
+
+One schema, three producers, three exporters:
+
+* **Producers** — the threaded trainer (real threads, wall clock), the
+  event-driven simulator (virtual clock), and the opt-in hot-path hooks
+  (autograd ops, top-k selection, wire codec) all emit *span* records;
+  the parameter server additionally meters lock wait/hold per worker.
+* **Schema** — ``repro.obs.span``: JSONL records (``meta`` / ``span`` /
+  ``metric`` / ``step``) with explicit clock domains.
+* **Exporters** — Chrome ``chrome://tracing`` JSON, a flamegraph-style
+  text summary, and Prometheus text, behind ``python -m repro.obs``
+  (``convert`` / ``summary`` / ``top`` / ``smoke``) and
+  ``python -m repro run --trace out.json``.
+
+See ``docs/observability.md`` for the full API and overhead numbers.
+"""
+
+from .export import (
+    check_stream,
+    load_jsonl,
+    render_summary,
+    render_top,
+    self_times,
+    spans_from_trace_events,
+    summarize,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .hooks import HOT_PATH_GROUPS, profile_hot_paths
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry, ObsLogger
+from .span import Span, span_record, validate_record, validate_records
+from .tracer import NullTracer, Tracer, current_tracer, set_tracer, use_tracer
+
+__all__ = [
+    "Span",
+    "span_record",
+    "validate_record",
+    "validate_records",
+    "Tracer",
+    "NullTracer",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsLogger",
+    "DEFAULT_BUCKETS",
+    "HOT_PATH_GROUPS",
+    "profile_hot_paths",
+    "check_stream",
+    "load_jsonl",
+    "summarize",
+    "render_summary",
+    "render_top",
+    "self_times",
+    "spans_from_trace_events",
+    "to_chrome_trace",
+    "to_prometheus",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,167 @@
+"""Observability CLI.
+
+Usage::
+
+    python -m repro.obs convert run.jsonl out.json   # Chrome trace (validates)
+    python -m repro.obs summary run.jsonl            # per-phase time + bytes
+    python -m repro.obs summary run.jsonl --prometheus
+    python -m repro.obs top run.jsonl -n 15          # self-time hot list
+    python -m repro.obs smoke --jsonl trace.jsonl    # tiny traced runs (CI)
+
+``convert`` validates both the input record stream and the produced
+Chrome JSON and exits non-zero on any schema violation — that is the
+gate the CI trace-smoke job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import (
+    load_jsonl,
+    render_summary,
+    render_top,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .span import validate_records
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.input)
+    errors = validate_records(records)
+    if errors:
+        for err in errors:
+            print(f"schema violation: {err}", file=sys.stderr)
+        return 1
+    trace = to_chrome_trace(records)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for err in errors:
+            print(f"chrome-trace violation: {err}", file=sys.stderr)
+        return 1
+    write_chrome_trace(args.output, records, indent=2 if args.indent else None)
+    nspans = sum(1 for r in records if r.get("type") == "span")
+    print(f"wrote {args.output}: {nspans} spans, {len(trace['traceEvents'])} events", file=sys.stderr)
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.input)
+    if args.prometheus:
+        print(to_prometheus([r for r in records if r.get("type") == "metric"]), end="")
+        return 0
+    meta = next((r for r in records if r.get("type") == "meta"), None)
+    if meta:
+        fields = ", ".join(f"{k}={v}" for k, v in meta.items() if k != "type")
+        if fields:
+            print(f"run: {fields}\n")
+    print(render_summary(records))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    print(render_top(load_jsonl(args.input), n=args.n))
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """Tiny traced threaded + simulated runs; writes one JSONL stream."""
+    from ..core.methods import Hyper
+    from ..data.synthetic import make_blobs
+    from ..nn.models.mlp import MLP
+    from ..ps.threaded import ThreadedTrainer
+    from ..sim.cluster import ClusterConfig
+    from ..sim.engine import SimulatedTrainer
+    from .hooks import profile_hot_paths
+    from .metrics import MetricsRegistry
+    from .tracer import Tracer, use_tracer
+
+    dataset = make_blobs(n_samples=256, num_classes=4, dim=12, seed=1)
+    hyper = Hyper(ratio=0.1, min_sparse_size=0)
+    tracer = Tracer(meta={"kind": "trace-smoke", "workers": args.workers})
+    registry = MetricsRegistry()
+
+    with use_tracer(tracer), profile_hot_paths():
+        threaded = ThreadedTrainer(
+            "dgs",
+            lambda: MLP(12, (24,), 4, seed=7),
+            dataset,
+            num_workers=args.workers,
+            batch_size=16,
+            iterations_per_worker=args.iterations,
+            hyper=hyper,
+            seed=0,
+        )
+        t_res = threaded.run()
+        sim = SimulatedTrainer(
+            "dgs",
+            lambda: MLP(12, (24,), 4, seed=7),
+            dataset,
+            ClusterConfig.with_bandwidth(args.workers, 10, compute_mean_s=0.01),
+            batch_size=16,
+            total_iterations=args.workers * args.iterations,
+            hyper=hyper,
+            seed=0,
+        )
+        s_res = sim.run()
+
+    for name, result in (("threaded", t_res), ("sim", s_res)):
+        registry.counter("upload_bytes", layer=name).inc(result.upload_bytes)
+        registry.counter("download_bytes", layer=name).inc(result.download_bytes)
+    n = tracer.dump_jsonl(
+        args.jsonl,
+        meta={
+            "threaded_upload_bytes": t_res.upload_bytes,
+            "threaded_download_bytes": t_res.download_bytes,
+            "sim_upload_bytes": s_res.upload_bytes,
+            "sim_download_bytes": s_res.download_bytes,
+        },
+        metrics=registry.snapshot(),
+    )
+    cats = sorted({r.get("cat") for r in tracer.records()})
+    print(f"wrote {args.jsonl}: {n} records, categories: {', '.join(cats)}", file=sys.stderr)
+    missing = {"autograd", "compression", "server", "worker"} - set(cats)
+    if missing:
+        print(f"smoke failed: missing span categories {sorted(missing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_convert = sub.add_parser("convert", help="JSONL records -> Chrome trace JSON (validating)")
+    p_convert.add_argument("input")
+    p_convert.add_argument("output")
+    p_convert.add_argument("--indent", action="store_true", help="pretty-print the JSON")
+    p_convert.set_defaults(fn=_cmd_convert)
+
+    p_summary = sub.add_parser("summary", help="per-phase time + bytes table")
+    p_summary.add_argument("input")
+    p_summary.add_argument(
+        "--prometheus", action="store_true", help="print metric records as Prometheus text"
+    )
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_top = sub.add_parser("top", help="flamegraph-style self-time hot list")
+    p_top.add_argument("input")
+    p_top.add_argument("-n", type=int, default=20, help="number of rows (default 20)")
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_smoke = sub.add_parser("smoke", help="tiny traced threaded+sim runs (CI gate)")
+    p_smoke.add_argument("--jsonl", default=".trace-smoke.jsonl", help="output record stream")
+    p_smoke.add_argument("--workers", type=int, default=2)
+    p_smoke.add_argument("--iterations", type=int, default=4, help="iterations per worker")
+    p_smoke.set_defaults(fn=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

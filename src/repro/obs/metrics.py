@@ -1,0 +1,256 @@
+"""Labeled metrics (counters / gauges / histograms) and the JSONL sink.
+
+The registry is the numbers-side companion of the span tracer: spans say
+*when* and *how long*, metrics say *how much* (bytes shipped, messages
+handled, staleness observed).  Every metric is a labeled series —
+``registry.counter("upload_bytes", method="dgs")`` — and ``snapshot()``
+produces plain dicts that serialise straight into the same JSONL stream
+as spans (``type: "metric"`` records, see ``repro.obs.span``).
+
+:class:`ObsLogger` is the run-level JSONL sink.  It subsumes
+:class:`repro.metrics.runlog.RunLogger`'s step records (same
+``log_step`` signature, so trainers accept either), adds span/metric
+records, flushes on write, and closes deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import IO, Any, Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsLogger",
+]
+
+#: histogram bucket upper bounds in seconds (+Inf is implicit)
+DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
+
+
+def _label_key(labels: "Mapping[str, Any]") -> "tuple[tuple[str, str], ...]":
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing scalar series."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: "Mapping[str, str] | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for signed values")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> "dict[str, Any]":
+        with self._lock:
+            value = self._value
+        return {"type": "metric", "kind": self.kind, "name": self.name, "labels": dict(self.labels), "value": value}
+
+
+class Gauge:
+    """Last-written scalar series (may go up or down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: "Mapping[str, str] | None" = None) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> "dict[str, Any]":
+        with self._lock:
+            value = self._value
+        return {"type": "metric", "kind": self.kind, "name": self.name, "labels": dict(self.labels), "value": value}
+
+
+class Histogram:
+    """Bucketed distribution (cumulative counts, Prometheus-style)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: "Mapping[str, str] | None" = None,
+        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.buckets = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, upper in enumerate(self.buckets):
+                if value <= upper:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def snapshot(self) -> "dict[str, Any]":
+        with self._lock:
+            counts = list(self._counts)
+            total, n = self._sum, self._count
+        return {
+            "type": "metric",
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": total,
+            "count": n,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metric series (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "dict[tuple[str, str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram]" = {}
+
+    def _get_or_create(self, kind: str, name: str, labels: "Mapping[str, Any]", factory) -> Any:
+        key = (kind, name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = factory()
+                self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create("counter", name, labels, lambda: Counter(name, {k: str(v) for k, v in labels.items()}))
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create("gauge", name, labels, lambda: Gauge(name, {k: str(v) for k, v in labels.items()}))
+
+    def histogram(self, name: str, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS, **labels: Any) -> Histogram:
+        return self._get_or_create(
+            "histogram", name, labels, lambda: Histogram(name, {k: str(v) for k, v in labels.items()}, buckets)
+        )
+
+    def snapshot(self) -> "list[dict[str, Any]]":
+        """One ``type: "metric"`` record per registered series."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return [m.snapshot() for m in metrics]
+
+
+class ObsLogger:
+    """Run-level JSONL sink: steps, spans, and metric snapshots in one file.
+
+    Drop-in for :class:`repro.metrics.runlog.RunLogger` where trainers
+    accept a ``logger`` (same ``log_step`` signature), with flush-on-write
+    so a crashed run still leaves a readable file.
+    """
+
+    def __init__(
+        self,
+        path: "str | pathlib.Path | None" = None,
+        meta: "Mapping[str, Any] | None" = None,
+    ) -> None:
+        self.records: list[dict[str, Any]] = []
+        self.path = pathlib.Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._fh: IO[str] | None = open(self.path, "w") if self.path is not None else None
+        if meta:
+            self.log(record_type="meta", **dict(meta))
+
+    # ------------------------------------------------------------------
+    def log(self, record_type: str = "step", **fields: Any) -> None:
+        self.log_record({"type": record_type, **fields})
+
+    def log_record(self, record: "dict[str, Any]") -> None:
+        with self._lock:
+            self.records.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record) + "\n")
+                self._fh.flush()
+
+    def log_step(
+        self,
+        step: int,
+        loss: float,
+        time_s: float | None = None,
+        worker: int | None = None,
+        staleness: int | None = None,
+        **extra: Any,
+    ) -> None:
+        fields: dict[str, Any] = {"step": step, "loss": float(loss)}
+        if time_s is not None:
+            fields["time_s"] = float(time_s)
+        if worker is not None:
+            fields["worker"] = int(worker)
+        if staleness is not None:
+            fields["staleness"] = int(staleness)
+        fields.update(extra)
+        self.log(record_type="step", **fields)
+
+    def log_spans(self, records: "list[dict[str, Any]]") -> None:
+        for rec in records:
+            self.log_record(rec)
+
+    def log_metrics(self, registry: MetricsRegistry) -> None:
+        for rec in registry.snapshot():
+            self.log_record(rec)
+
+    # ------------------------------------------------------------------
+    def steps(self) -> "list[dict[str, Any]]":
+        with self._lock:
+            return [r for r in self.records if r.get("type") == "step"]
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "ObsLogger":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -14,6 +14,7 @@ exercises genuine HOGWILD-style contention while state stays consistent.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Mapping
 
@@ -24,6 +25,7 @@ from ..compression.stats import CompressionStats
 from ..compression.topk import TopKSparsifier
 from ..core.tracker import ModelDifferenceTracker
 from ..metrics.meters import AverageMeter
+from ..obs.tracer import current_tracer
 from .messages import DiffMessage, GradientMessage, ModelMessage
 
 __all__ = ["ParameterServer"]
@@ -74,6 +76,11 @@ class ParameterServer:
         )
         self.stats = CompressionStats()
         self.staleness_meter = AverageMeter("staleness")
+        #: contention telemetry: how long handle() waited for the lock vs
+        #: how long it held it — the HOGWILD bottleneck signal (seconds).
+        self.lock_wait_meter = AverageMeter("lock_wait_s")
+        self.lock_hold_meter = AverageMeter("lock_hold_s")
+        self.worker_lock_wait: "dict[int, AverageMeter]" = {}
         #: gap-aware mitigation (Barkai et al., the paper's [4]): scale an
         #: incoming update by 1/(staleness + 1) before applying it, damping
         #: the implicit momentum that asynchrony introduces.
@@ -83,7 +90,9 @@ class ParameterServer:
     # ------------------------------------------------------------------
     def handle(self, msg: GradientMessage) -> "DiffMessage | ModelMessage":
         """Process one upstream gradient message and build the reply."""
+        t_request = time.perf_counter()
         with self._lock:
+            t_acquired = time.perf_counter()
             staleness = self.tracker.staleness(msg.worker_id)
             self.staleness_meter.update(staleness)
             payload = msg.payload
@@ -103,7 +112,43 @@ class ParameterServer:
                 self.tracker.prev[msg.worker_id] = t
                 reply = ModelMessage(msg.worker_id, model, t, staleness)
             self.stats.record_download(reply.nbytes(), reply.dense_nbytes())
-            return reply
+            t_done = time.perf_counter()
+            wait = t_acquired - t_request
+            self.lock_wait_meter.update(wait)
+            self.lock_hold_meter.update(t_done - t_acquired)
+            per_worker = self.worker_lock_wait.get(msg.worker_id)
+            if per_worker is None:
+                per_worker = AverageMeter(f"lock_wait_s[w{msg.worker_id}]")
+                self.worker_lock_wait[msg.worker_id] = per_worker
+            per_worker.update(wait)
+
+        tracer = current_tracer()
+        if tracer.enabled:
+            # Emitted outside the lock (no tracing cost added to hold time);
+            # wall-clock domain — the simulator stamps its own virtual-time
+            # server spans from the event timeline instead.
+            tracer.add_span(
+                "server.lock_wait",
+                t_request,
+                t_acquired,
+                cat="server",
+                domain="wall",
+                args={"worker": msg.worker_id},
+            )
+            tracer.add_span(
+                "server.handle",
+                t_acquired,
+                t_done,
+                cat="server",
+                domain="wall",
+                args={
+                    "worker": msg.worker_id,
+                    "staleness": staleness,
+                    "up_bytes": msg.nbytes(),
+                    "down_bytes": reply.nbytes(),
+                },
+            )
+        return reply
 
     # ------------------------------------------------------------------
     def global_model(self) -> "OrderedDict[str, np.ndarray]":

@@ -20,6 +20,7 @@ from ..data.synthetic import Dataset
 from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_params
 from ..nn.module import Module
+from ..obs.tracer import NullTracer, Tracer, current_tracer
 from ..optim.schedules import ConstantLR, Schedule
 from .server import ParameterServer
 from .worker import WorkerNode
@@ -56,6 +57,7 @@ class ThreadedTrainer:
         schedule: Schedule | None = None,
         secondary_compression: bool | None = None,
         seed: int = 0,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.method = get_method(method) if isinstance(method, str) else method
         if not self.method.distributed:
@@ -104,14 +106,24 @@ class ThreadedTrainer:
         self._loss_lock = threading.Lock()
         self.loss_curve = Curve("loss_vs_server_step")
         self._errors: list[BaseException] = []
+        #: explicit tracer; None ⇒ the ambient repro.obs tracer at run time
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     def _worker_loop(self, node: WorkerNode) -> None:
+        # Each OS thread emits into its own Tracer buffer (lock-free);
+        # buffers are merged after join() via Tracer.records().
+        tracer = self.tracer if self.tracer is not None else current_tracer()
         try:
-            for _ in range(self.iterations_per_worker):
-                msg = node.compute_step()
-                reply = self.server.handle(msg)
-                node.apply_reply(reply)
+            for i in range(self.iterations_per_worker):
+                with tracer.span(
+                    "worker.step", cat="worker", worker=node.worker_id, iteration=i
+                ):
+                    with tracer.span("worker.compute", cat="worker", worker=node.worker_id):
+                        msg = node.compute_step()
+                    reply = self.server.handle(msg)
+                    with tracer.span("worker.apply", cat="worker", worker=node.worker_id):
+                        node.apply_reply(reply)
                 with self._loss_lock:
                     # Server timestamps are unique but arrive out of order
                     # across threads; record against a local monotone index.

@@ -28,6 +28,7 @@ from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_params
 from ..metrics.meters import EMAMeter
 from ..nn.module import Module
+from ..obs.tracer import NullTracer, Tracer, current_tracer
 from ..optim.schedules import ConstantLR, Schedule
 from ..ps.server import ParameterServer
 from ..ps.worker import WorkerNode
@@ -109,6 +110,7 @@ class SimulatedTrainer:
         fail_at: "dict[int, int] | None" = None,
         record_trace: bool = False,
         logger: "object | None" = None,
+        tracer: "Tracer | NullTracer | None" = None,
         seed: int = 0,
     ) -> None:
         self.method = get_method(method) if isinstance(method, str) else method
@@ -129,6 +131,11 @@ class SimulatedTrainer:
         self.record_trace = record_trace
         #: optional repro.metrics.runlog.RunLogger for per-step telemetry
         self.logger = logger
+        #: explicit repro.obs tracer; None ⇒ the ambient tracer at run time.
+        #: Spans are stamped with the *virtual* clock (same schema as the
+        #: threaded trainer's wall-clock spans; TraceEvent is the legacy
+        #: tuple view of the same timeline).
+        self.tracer = tracer
         self._rng = np.random.default_rng(cluster.seed * 7919 + seed)
 
         num_workers = cluster.num_workers
@@ -193,6 +200,9 @@ class SimulatedTrainer:
         makespan = 0.0
         applied = 0
         trace: "list[TraceEvent] | None" = [] if self.record_trace else None
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        emit_spans = tracer.enabled
+        compute_start = {node.worker_id: 0.0 for node in self.workers}
         while heap and applied < self.total_iterations:
             ready_t, _, wid = heapq.heappop(heap)
             node = self.workers[wid]
@@ -200,14 +210,16 @@ class SimulatedTrainer:
                 continue  # injected crash: the in-flight update is lost
 
             msg = node.compute_step()
+            up_bytes = msg.nbytes()
             wire = cluster.wire_scale
-            start_up, end_up = self.uplink.reserve(ready_t, int(msg.nbytes() * wire))
+            start_up, end_up = self.uplink.reserve(ready_t, int(up_bytes * wire))
             s_start = max(end_up, server_free)
             s_end = s_start + cluster.server_overhead_s
             server_free = s_end
 
             reply = self.server.handle(msg)
-            _, end_down = self.downlink.reserve(s_end, int(reply.nbytes() * wire))
+            down_bytes = reply.nbytes()
+            _, end_down = self.downlink.reserve(s_end, int(down_bytes * wire))
             node.apply_reply(reply)
             if trace is not None:
                 trace.append(
@@ -220,10 +232,54 @@ class SimulatedTrainer:
                         server_t=s_end,
                         down_end=end_down,
                         staleness=reply.staleness,
-                        up_bytes=msg.nbytes(),
-                        down_bytes=reply.nbytes(),
+                        up_bytes=up_bytes,
+                        down_bytes=down_bytes,
                     )
                 )
+            if emit_spans:
+                lane = f"worker-{wid}"
+                tracer.add_span(
+                    "worker.compute",
+                    compute_start[wid],
+                    ready_t,
+                    tid=lane,
+                    cat="worker",
+                    domain="virtual",
+                    args={"worker": wid, "iteration": node.iteration - 1},
+                )
+                tracer.add_span(
+                    "net.upload",
+                    start_up,
+                    end_up,
+                    tid=lane,
+                    cat="net",
+                    domain="virtual",
+                    args={"worker": wid, "up_bytes": up_bytes},
+                )
+                tracer.add_span(
+                    "server.handle",
+                    s_start,
+                    s_end,
+                    tid="server",
+                    cat="server",
+                    domain="virtual",
+                    args={
+                        "worker": wid,
+                        "staleness": reply.staleness,
+                        "up_bytes": up_bytes,
+                        "down_bytes": down_bytes,
+                    },
+                )
+                tracer.add_span(
+                    "net.download",
+                    s_end,
+                    end_down,
+                    tid=lane,
+                    cat="net",
+                    domain="virtual",
+                    args={"worker": wid, "down_bytes": down_bytes},
+                )
+            compute_start[wid] = end_down
 
             applied += 1
             makespan = s_end
@@ -237,8 +293,8 @@ class SimulatedTrainer:
                     time_s=s_end,
                     worker=wid,
                     staleness=reply.staleness,
-                    up_bytes=msg.nbytes(),
-                    down_bytes=reply.nbytes(),
+                    up_bytes=up_bytes,
+                    down_bytes=down_bytes,
                 )
             if self.eval_every is not None and applied % self.eval_every == 0:
                 acc, _ = self._evaluate_global()

@@ -48,6 +48,15 @@ class TestRunLogger:
         log.log_step(1, 0.5, up_bytes=100)
         assert log.steps()[0]["up_bytes"] == 100
 
+    def test_flush_on_write(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = RunLogger(path)
+        log.log_step(1, 0.5)
+        # record is on disk before close — a crashed run leaves a readable log
+        assert json.loads(path.read_text().splitlines()[0])["step"] == 1
+        log.close()
+        log.close()  # idempotent
+
 
 class TestTrainerIntegration:
     def test_simulated_trainer_logs(self, tiny_dataset, tiny_model_factory, tmp_path):

@@ -1,0 +1,121 @@
+"""Opt-in hot-path profiling hooks: install, emit, restore."""
+
+import numpy as np
+import pytest
+
+from repro.obs import HOT_PATH_GROUPS, Tracer, profile_hot_paths, use_tracer
+
+
+def test_unknown_group_rejected():
+    with pytest.raises(ValueError, match="unknown hot-path groups"):
+        with profile_hot_paths(groups=("autograd", "gpu")):
+            pass
+
+
+def test_nothing_patched_outside_context():
+    from repro.autograd import ops
+
+    before = ops.conv2d
+    with profile_hot_paths():
+        assert ops.conv2d is not before
+    assert ops.conv2d is before
+
+
+def test_all_namespaces_patched_and_restored():
+    """Names re-bound at import time must be patched in every namespace."""
+    import repro.autograd as ag_pkg
+    import repro.autograd.ops as ag_ops
+    import repro.compression as comp_pkg
+    import repro.compression.coding as comp_coding
+    import repro.core.strategies as core_strategies
+    import repro.nn.conv as nn_conv
+    import repro.ps as ps_pkg
+    import repro.ps.codec as ps_codec
+    import repro.ps.process as ps_process
+
+    originals = {
+        "conv2d": ag_ops.conv2d,
+        "encode_mask": comp_coding.encode_mask,
+        "encode_message": ps_codec.encode_message,
+    }
+    with profile_hot_paths():
+        assert ag_ops.conv2d is ag_pkg.conv2d is nn_conv.conv2d
+        assert ag_ops.conv2d is not originals["conv2d"]
+        assert comp_coding.encode_mask is comp_pkg.encode_mask is core_strategies.encode_mask
+        assert ps_codec.encode_message is ps_pkg.encode_message is ps_process.encode_message
+    assert ag_ops.conv2d is ag_pkg.conv2d is nn_conv.conv2d is originals["conv2d"]
+    assert comp_coding.encode_mask is originals["encode_mask"]
+    assert ps_codec.encode_message is originals["encode_message"]
+
+
+def test_nested_profiling_does_not_double_wrap():
+    from repro.autograd import ops
+
+    with profile_hot_paths():
+        once = ops.conv2d
+        with profile_hot_paths():
+            assert ops.conv2d is once  # no second wrapper layer
+        # inner exit must not strip the outer wrapper
+        assert ops.conv2d is once
+
+
+def test_compression_hook_emits_spans():
+    from repro.compression.topk import TopKSparsifier
+
+    tracer = Tracer()
+    grad = np.arange(32, dtype=np.float32)
+    with use_tracer(tracer), profile_hot_paths(groups=("compression",)):
+        TopKSparsifier(ratio=0.25).mask(grad)
+    names = {r["name"] for r in tracer.records()}
+    assert "compression.topk.mask" in names
+
+
+def test_codec_hook_emits_spans():
+    from repro.compression.coding import SparseTensor
+    from repro.ps import codec
+    from repro.ps.messages import GradientMessage
+
+    payload = {
+        "w": SparseTensor(
+            indices=np.array([1, 3], dtype=np.int64),
+            values=np.array([0.5, -0.5], dtype=np.float64),
+            shape=(8,),
+        )
+    }
+    msg = GradientMessage(worker_id=0, payload=payload, local_iteration=1)
+    tracer = Tracer()
+    with use_tracer(tracer), profile_hot_paths(groups=("codec",)):
+        # call through the module so the patched bindings are used
+        codec.decode_message(codec.encode_message(msg))
+    names = [r["name"] for r in tracer.records()]
+    assert "codec.encode_message" in names
+    assert "codec.decode_message" in names
+
+
+def test_autograd_hook_emits_matmul_and_backward():
+    from repro.autograd.tensor import Tensor
+
+    tracer = Tracer()
+    with use_tracer(tracer), profile_hot_paths(groups=("autograd",)):
+        a = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones((3, 2), dtype=np.float32))
+        out = a @ b
+        out.backward(np.ones((2, 2), dtype=np.float32))
+    names = {r["name"] for r in tracer.records()}
+    assert "autograd.matmul" in names
+    assert "autograd.backward" in names
+
+
+def test_wrapped_functions_still_correct():
+    """Profiling must not change numerics."""
+    from repro.compression.topk import TopKSparsifier
+
+    grad = np.array([0.1, -5.0, 0.2, 4.0], dtype=np.float32)
+    plain = TopKSparsifier(ratio=0.5).mask(grad)
+    with use_tracer(Tracer()), profile_hot_paths():
+        hooked = TopKSparsifier(ratio=0.5).mask(grad)
+    np.testing.assert_array_equal(plain, hooked)
+
+
+def test_groups_constant_matches_implementation():
+    assert set(HOT_PATH_GROUPS) == {"autograd", "compression", "codec"}

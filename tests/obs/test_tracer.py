@@ -1,0 +1,190 @@
+"""Span tracer: nesting, thread-safety, clocks, ambient management."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+    validate_records,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for span tests."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestSpanBasics:
+    def test_span_records_duration(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", cat="test"):
+            pass
+        (rec,) = tracer.records()
+        assert rec["name"] == "outer"
+        assert rec["cat"] == "test"
+        assert rec["ts"] == 1.0 and rec["dur"] == 1.0
+        assert rec["domain"] == "wall"
+
+    def test_nested_spans_are_well_nested(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        outer, inner = by_name["outer"], by_name["inner"]
+        # outer: [1, 4], inner: [2, 3] — strictly contained
+        assert outer["ts"] < inner["ts"]
+        assert inner["ts"] + inner["dur"] < outer["ts"] + outer["dur"]
+
+    def test_args_and_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", worker=3) as sp:
+            sp.set(up_bytes=100)
+        (rec,) = tracer.records()
+        assert rec["args"] == {"worker": 3, "up_bytes": 100}
+
+    def test_add_span_virtual_domain(self):
+        tracer = Tracer()
+        tracer.add_span("sim", 1.5, 2.5, tid="worker-0", cat="net", args={"up_bytes": 7})
+        (rec,) = tracer.records()
+        assert rec["domain"] == "virtual"
+        assert rec["ts"] == 1.5 and rec["dur"] == 1.0
+        assert rec["tid"] == "worker-0"
+
+    def test_records_are_schema_valid(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.add_span("b", 0.0, 1.0, tid="lane")
+        assert validate_records(tracer.records()) == []
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.records() == []
+
+
+class TestThreadSafety:
+    def test_two_threads_disjoint_well_nested(self):
+        """Concurrent tracing threads produce disjoint, well-nested spans."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        depth = 5
+
+        def work():
+            barrier.wait()
+            for _ in range(20):
+                with tracer.span("L0"):
+                    with tracer.span("L1"):
+                        with tracer.span("L2"):
+                            pass
+
+        threads = [threading.Thread(target=work, name=f"tracee-{i}") for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        records = tracer.records()
+        assert len(records) == 2 * 20 * 3
+        tids = {r["tid"] for r in records}
+        assert tids == {"tracee-0", "tracee-1"}
+        # per-thread: spans nest by interval containment, never interleave
+        for tid in tids:
+            lane = sorted((r for r in records if r["tid"] == tid), key=lambda r: r["ts"])
+            stack = []
+            for r in lane:
+                start, end = r["ts"], r["ts"] + r["dur"]
+                while stack and stack[-1] <= start:
+                    stack.pop()
+                for open_end in stack:
+                    assert end <= open_end + 1e-9, "span crosses an enclosing span boundary"
+                assert len(stack) < depth
+                stack.append(end)
+
+    def test_buffers_merge_sorted(self):
+        tracer = Tracer()
+
+        def work(offset):
+            tracer.add_span("x", offset, offset + 0.5, tid=f"lane-{offset}")
+
+        threads = [threading.Thread(target=work, args=(float(i),)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ts = [r["ts"] for r in tracer.records()]
+        assert ts == sorted(ts)
+
+
+class TestAmbientTracer:
+    def test_default_is_null(self):
+        assert isinstance(current_tracer(), (NullTracer, Tracer))
+
+    def test_use_tracer_scopes_and_restores(self):
+        before = current_tracer()
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is before
+
+    def test_set_tracer_none_installs_null(self):
+        previous = set_tracer(None)
+        try:
+            assert isinstance(current_tracer(), NullTracer)
+        finally:
+            set_tracer(previous)
+
+    def test_null_tracer_is_inert(self):
+        null = NullTracer()
+        assert not null.enabled
+        with null.span("anything", cat="x") as sp:
+            sp.set(a=1)
+        null.add_span("b", 0.0, 1.0)
+        assert null.records() == []
+
+    def test_null_span_is_shared_singleton(self):
+        """The disabled fast path allocates nothing per call."""
+        null = NullTracer()
+        assert null.span("a") is null.span("b")
+
+
+class TestDump:
+    def test_dump_jsonl_roundtrip(self, tmp_path):
+        tracer = Tracer(meta={"method": "dgs"})
+        with tracer.span("a", cat="worker"):
+            pass
+        path = tmp_path / "run.jsonl"
+        n = tracer.dump_jsonl(path, meta={"seed": 3}, metrics=[{"type": "metric", "kind": "counter", "name": "c", "labels": {}, "value": 1.0}])
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert n == len(lines) == 3
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["method"] == "dgs" and lines[0]["seed"] == 3
+        assert lines[1]["type"] == "span"
+        assert lines[2]["type"] == "metric"
+        assert validate_records(lines) == []
+
+
+def test_custom_clock_injection():
+    times = iter([10.0, 12.5])
+    tracer = Tracer(clock=lambda: next(times))
+    with tracer.span("timed"):
+        pass
+    (rec,) = tracer.records()
+    assert rec["ts"] == 10.0
+    assert rec["dur"] == pytest.approx(2.5)

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.metrics",
     "repro.harness",
     "repro.harness.experiments",
+    "repro.obs",
 ]
 
 
