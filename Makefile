@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench-smoke trace-smoke
+.PHONY: lint test bench-smoke trace-smoke backend-matrix
 
 ## Static analysis: AST lint + lock discipline + sanitizer self-check.
 lint:
@@ -14,6 +14,11 @@ test:
 ## Quarter-scale pass over every paper table/figure (~2 min).
 bench-smoke:
 	REPRO_SCALE=fast $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## One tiny workload on every registered execution backend; each result
+## is validated against the unified TrainResult schema and must learn.
+backend-matrix:
+	$(PYTHON) -m repro.exec --iters 40 --workers 2
 
 ## Traced 2-worker threaded + simulated runs, then validate the export
 ## (repro.obs convert exits non-zero on any schema violation).

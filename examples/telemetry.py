@@ -13,9 +13,9 @@ import argparse
 import pathlib
 from collections import Counter
 
+from repro.exec import RunConfig, train
 from repro.harness import get_workload, paper_cluster
 from repro.metrics import RunLogger, load_runlog, save_svg
-from repro.sim import SimulatedTrainer
 
 
 def main() -> None:
@@ -32,17 +32,20 @@ def main() -> None:
 
     log_path = out / "run.jsonl"
     with RunLogger(log_path, meta={"method": "dgs", "workers": 4}) as logger:
-        trainer = SimulatedTrainer(
-            "dgs", factory, dataset,
-            paper_cluster(4, 10.0, factory()),
-            batch_size=workload.batch_size,
-            total_iterations=total_iters,
-            hyper=workload.hyper,
-            schedule=workload.schedule(),
-            logger=logger,
-            seed=0,
+        result = train(
+            RunConfig(
+                "dgs", factory, dataset,
+                num_workers=4,
+                batch_size=workload.batch_size,
+                total_iterations=total_iters,
+                hyper=workload.hyper,
+                schedule=workload.schedule(),
+                cluster=paper_cluster(4, 10.0, factory()),
+                logger=logger,
+                seed=0,
+            ),
+            backend="simulated",
         )
-        result = trainer.run()
     print(f"trained: acc={100 * result.final_accuracy:.2f}%  log: {log_path}")
 
     # Reload (as an analysis script would) and render charts.

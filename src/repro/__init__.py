@@ -4,6 +4,7 @@ Asynchronous Distributed Deep Learning" (Yan et al., ICPP 2020).
 Public surface:
 
 * ``repro.core`` — DGS: SAMomentum, model-difference tracking, baselines
+* ``repro.exec`` — unified Trainer front-end over pluggable execution backends
 * ``repro.ps`` / ``repro.sim`` — parameter-server substrates (threads / virtual clock)
 * ``repro.autograd`` / ``repro.nn`` — the from-scratch training substrate
 * ``repro.compression`` — sparsifiers, quantiser, wire coding
@@ -13,7 +14,21 @@ Public surface:
 * ``repro.obs`` — unified tracing + metrics (spans, Chrome trace, profiling)
 """
 
-from . import analysis, autograd, compression, core, data, harness, metrics, nn, obs, optim, ps, sim
+from . import (
+    analysis,
+    autograd,
+    compression,
+    core,
+    data,
+    exec,
+    harness,
+    metrics,
+    nn,
+    obs,
+    optim,
+    ps,
+    sim,
+)
 
 __version__ = "1.0.0"
 
@@ -26,6 +41,7 @@ __all__ = [
     "optim",
     "compression",
     "core",
+    "exec",
     "ps",
     "sim",
     "metrics",

@@ -60,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         "Chrome trace JSON, or raw records if PATH ends in .jsonl, and "
         "print the per-phase summary to stderr",
     )
+    run_p.add_argument(
+        "--backend",
+        help="execution backend for the distributed runs (threaded | process "
+        "| simulated | sync); default: the simulated virtual cluster. "
+        "Wall-clock backends ignore the experiments' bandwidth settings",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -72,6 +78,14 @@ def main(argv: list[str] | None = None) -> int:
         from .analysis.sanitize import sanitize
     tracer = None
     obs_scope = contextlib.ExitStack()
+    if getattr(args, "backend", None):
+        from .exec import use_backend
+
+        try:
+            obs_scope.enter_context(use_backend(args.backend))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
     if args.trace:
         from .obs import Tracer, profile_hot_paths, use_tracer
 

@@ -1,0 +1,105 @@
+"""Backend protocol, registry, and the ambient default backend.
+
+A backend turns one :class:`~repro.exec.config.RunConfig` into a
+:class:`~repro.exec.result.TrainResult`.  The four built-ins ("threaded",
+"process", "simulated", "sync") register themselves on import of
+:mod:`repro.exec`; extensions register their own with
+:func:`register_backend` and immediately work everywhere a backend name is
+accepted — ``Trainer``, ``run_distributed(backend=...)``, ``python -m
+repro run --backend``, and ``make backend-matrix``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Protocol, runtime_checkable
+
+from .config import RunConfig
+from .result import TrainResult
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "get_backend",
+    "list_backends",
+    "default_backend",
+    "use_backend",
+]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One way of executing a distributed training run."""
+
+    #: registry name, e.g. "threaded"
+    name: str
+    #: clock domain of the results it produces: "wall" | "virtual"
+    clock: str
+    #: optional TrainResult fields this backend guarantees to populate
+    measures: "frozenset[str]"
+
+    def create(self, config: RunConfig):
+        """Build (but do not run) the underlying engine for ``config``.
+
+        The returned engine exposes ``run() -> TrainResult`` plus whatever
+        pre-run state the engine publishes (e.g. ``.server``/``.workers``)
+        for instrumentation.
+        """
+
+    def run(self, config: RunConfig) -> TrainResult:
+        """Execute ``config`` to completion."""
+
+
+_REGISTRY: "dict[str, Backend]" = {}
+
+#: name resolved when a caller passes ``backend=None``; the simulator is
+#: the default because it is cheap, deterministic, and fully instrumented.
+_DEFAULT = "simulated"
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add ``backend`` to the registry under ``backend.name``."""
+    name = backend.name
+    if not replace and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} already registered")
+    _REGISTRY[name] = backend
+    return backend
+
+
+def get_backend(name: "str | Backend | None" = None) -> Backend:
+    """Resolve a backend by registry name (None ⇒ the ambient default)."""
+    if name is None:
+        name = _DEFAULT
+    if not isinstance(name, str):
+        return name  # already a Backend instance
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown backend {name!r}; known: {list_backends()}") from None
+
+
+def list_backends() -> "tuple[str, ...]":
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def default_backend() -> str:
+    """The backend name used when callers pass ``backend=None``."""
+    return _DEFAULT
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Temporarily change the ambient default backend.
+
+    The seam behind ``python -m repro run --backend``: experiments that
+    call ``run_distributed`` without an explicit backend inherit this.
+    """
+    global _DEFAULT
+    get_backend(name)  # fail fast on unknown names
+    previous = _DEFAULT
+    _DEFAULT = name
+    try:
+        yield name
+    finally:
+        _DEFAULT = previous

@@ -1,0 +1,189 @@
+"""The four built-in execution backends.
+
+Each adapter maps the backend-independent :class:`RunConfig` onto one
+engine's native constructor and declares which optional ``TrainResult``
+fields it guarantees to populate.  The engines themselves live where they
+always did (``repro.ps.threaded``, ``repro.ps.process``,
+``repro.sim.engine``, ``repro.sim.sync``); the adapters are the only place
+that knows their constructor signatures.
+"""
+
+from __future__ import annotations
+
+from .backend import register_backend
+from .config import RunConfig
+from .result import TrainResult
+
+__all__ = [
+    "ThreadedBackend",
+    "ProcessBackend",
+    "SimulatedBackend",
+    "SyncBackend",
+]
+
+#: optional fields every parameter-server backend measures
+_PS_MEASURES = frozenset(
+    {
+        "makespan_s",
+        "clock",
+        "upload_dense_bytes",
+        "download_dense_bytes",
+        "server_state_bytes",
+        "worker_state_bytes",
+    }
+)
+
+
+class _BackendBase:
+    """run() = create() + run(); subclasses implement create()."""
+
+    name = ""
+    clock = ""
+    measures: "frozenset[str]" = frozenset()
+
+    def create(self, config: RunConfig):
+        raise NotImplementedError
+
+    def run(self, config: RunConfig) -> TrainResult:
+        return self.create(config).run()
+
+
+class ThreadedBackend(_BackendBase):
+    """Real OS threads against a lock-protected parameter server."""
+
+    name = "threaded"
+    clock = "wall"
+    measures = _PS_MEASURES
+
+    def create(self, config: RunConfig):
+        from ..ps.threaded import ThreadedTrainer
+
+        return ThreadedTrainer(
+            config.method,
+            config.model_factory,
+            config.dataset,
+            num_workers=config.num_workers,
+            batch_size=config.batch_size,
+            iterations_per_worker=config.iterations_per_worker(),
+            hyper=config.hyper,
+            schedule=config.schedule,
+            secondary_compression=config.secondary_compression,
+            staleness_damping=config.staleness_damping,
+            seed=config.seed,
+            tracer=config.tracer,
+        )
+
+
+class ProcessBackend(_BackendBase):
+    """Real OS processes exchanging actual bytes over pipes."""
+
+    name = "process"
+    clock = "wall"
+    measures = _PS_MEASURES | {"wire_bytes_up", "wire_bytes_down"}
+
+    def create(self, config: RunConfig):
+        from ..ps.process import ProcessTrainer
+
+        return ProcessTrainer(
+            config.method,
+            config.model_factory,
+            config.dataset,
+            num_workers=config.num_workers,
+            batch_size=config.batch_size,
+            iterations_per_worker=config.iterations_per_worker(),
+            hyper=config.hyper,
+            schedule=config.schedule,
+            secondary_compression=config.secondary_compression,
+            staleness_damping=config.staleness_damping,
+            seed=config.seed,
+        )
+
+
+class SimulatedBackend(_BackendBase):
+    """Event-driven virtual-clock simulation with a modelled network."""
+
+    name = "simulated"
+    clock = "virtual"
+    measures = _PS_MEASURES | {
+        "loss_vs_time",
+        "uplink_utilisation",
+        "downlink_utilisation",
+    }
+
+    def create(self, config: RunConfig):
+        from ..sim.engine import SimulatedTrainer
+
+        return SimulatedTrainer(
+            config.method,
+            config.model_factory,
+            config.dataset,
+            _checked_cluster(config),
+            batch_size=config.batch_size,
+            total_iterations=config.total_iterations,
+            hyper=config.hyper,
+            schedule=config.schedule,
+            secondary_compression=config.secondary_compression,
+            eval_every=config.eval_every,
+            staleness_damping=config.staleness_damping,
+            fail_at=config.fail_at,
+            record_trace=config.record_trace,
+            logger=config.logger,
+            tracer=config.tracer,
+            seed=config.seed,
+        )
+
+
+class SyncBackend(_BackendBase):
+    """Barrier-synchronised SSGD reference on the virtual cluster."""
+
+    name = "sync"
+    clock = "virtual"
+    measures = frozenset(
+        {
+            "makespan_s",
+            "clock",
+            "loss_vs_time",
+            "upload_dense_bytes",
+            "download_dense_bytes",
+            "uplink_utilisation",
+            "downlink_utilisation",
+            "worker_state_bytes",
+            "rounds",
+            "straggler_time_s",
+        }
+    )
+
+    def create(self, config: RunConfig):
+        from ..sim.sync import SynchronousTrainer
+
+        return SynchronousTrainer(
+            config.method,
+            config.model_factory,
+            config.dataset,
+            _checked_cluster(config),
+            batch_size=config.batch_size,
+            rounds=config.rounds(),
+            hyper=config.hyper,
+            schedule=config.schedule,
+            seed=config.seed,
+        )
+
+
+def _checked_cluster(config: RunConfig):
+    """The resolved virtual cluster; its worker count must match the config.
+
+    The simulated/sync engines size themselves from the cluster, so a
+    disagreement would silently drop (or invent) workers."""
+    cluster = config.resolved_cluster()
+    if cluster.num_workers != config.num_workers:
+        raise ValueError(
+            f"RunConfig.num_workers={config.num_workers} disagrees with "
+            f"cluster.num_workers={cluster.num_workers}"
+        )
+    return cluster
+
+
+register_backend(ThreadedBackend())
+register_backend(ProcessBackend())
+register_backend(SimulatedBackend())
+register_backend(SyncBackend())

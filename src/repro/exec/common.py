@@ -1,0 +1,153 @@
+"""Construction and evaluation steps shared by every execution backend.
+
+Before the unified execution layer, each of the four trainers carried its
+own copy of the same lifecycle plumbing: resolve the method spec, default
+the hyper-parameters and LR schedule, decide the server-side secondary
+compression, build a :class:`~repro.ps.server.ParameterServer` seeded with
+θ0, stamp out per-worker :class:`~repro.ps.worker.WorkerNode` replicas, and
+evaluate θ0 + M on the validation split.  These helpers are that plumbing,
+written once; the trainers are now thin scheduling loops on top.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Mapping
+
+import numpy as np
+
+from ..core.layerops import assign_parameters, layer_shapes
+from ..core.methods import Hyper, MethodSpec, get_method
+from ..data.loader import DataLoader
+from ..data.synthetic import Dataset
+from ..metrics.evaluation import evaluate_params
+from ..nn.module import Module
+from ..optim.schedules import ConstantLR, Schedule
+
+if TYPE_CHECKING:  # imported lazily at call time: repro.ps imports this module
+    from ..ps.server import ParameterServer
+    from ..ps.worker import WorkerNode
+
+__all__ = [
+    "resolve_method",
+    "resolve_hyper",
+    "resolve_schedule",
+    "secondary_ratio_for",
+    "build_server",
+    "build_worker",
+    "build_workers",
+    "evaluate_global",
+]
+
+
+def resolve_method(method: "MethodSpec | str", require_distributed: bool = True) -> MethodSpec:
+    """Look up ``method`` in the registry and reject single-node specs."""
+    spec = get_method(method) if isinstance(method, str) else method
+    if require_distributed and not spec.distributed:
+        raise ValueError(f"method {spec.name!r} is single-node; use LocalTrainer")
+    return spec
+
+
+def resolve_hyper(hyper: "Hyper | None") -> Hyper:
+    return hyper if hyper is not None else Hyper()
+
+
+def resolve_schedule(schedule: "Schedule | None", hyper: Hyper) -> Schedule:
+    return schedule if schedule is not None else ConstantLR(hyper.lr)
+
+
+def secondary_ratio_for(
+    method: MethodSpec, hyper: Hyper, secondary_compression: "bool | None"
+) -> "float | None":
+    """Server-side secondary compression ratio, or None when disabled.
+
+    Secondary compression only exists in the ``difference`` downstream mode
+    (Algorithm 2 / Eq. 6); ``secondary_compression=None`` defers to the
+    method's default flag.
+    """
+    use_secondary = (
+        method.secondary_default if secondary_compression is None else secondary_compression
+    )
+    if method.downstream == "difference" and use_secondary:
+        return hyper.secondary_ratio
+    return None
+
+
+def build_server(
+    method: MethodSpec,
+    theta0: "Mapping[str, np.ndarray]",
+    num_workers: int,
+    hyper: Hyper,
+    secondary_compression: "bool | None" = None,
+    staleness_damping: bool = False,
+) -> "ParameterServer":
+    """A parameter server configured for ``method``'s downstream mode."""
+    from ..ps.server import ParameterServer
+
+    return ParameterServer(
+        theta0,
+        num_workers,
+        downstream=method.downstream,
+        secondary_ratio=secondary_ratio_for(method, hyper, secondary_compression),
+        secondary_min_sparse_size=hyper.min_sparse_size,
+        staleness_damping=staleness_damping,
+    )
+
+
+def build_worker(
+    worker_id: int,
+    num_workers: int,
+    model: Module,
+    loader: DataLoader,
+    method: MethodSpec,
+    hyper: Hyper,
+    schedule: Schedule,
+    theta0: "Mapping[str, np.ndarray] | None" = None,
+) -> "WorkerNode":
+    """One worker node on ``model``, optionally re-seeded to θ0."""
+    from ..ps.worker import WorkerNode
+
+    if theta0 is not None:
+        # All replicas start from the same θ0.
+        assign_parameters(model, theta0)
+    shapes = layer_shapes(model)
+    return WorkerNode(
+        worker_id,
+        model,
+        loader.worker_iterator(worker_id, num_workers),
+        method.make_strategy(shapes, hyper),
+        schedule=schedule,
+    )
+
+
+def build_workers(
+    num_workers: int,
+    model_factory: Callable[[], Module],
+    loader: DataLoader,
+    method: MethodSpec,
+    hyper: Hyper,
+    schedule: Schedule,
+    theta0: "Mapping[str, np.ndarray]",
+    first_model: "Module | None" = None,
+) -> "list[WorkerNode]":
+    """Stamp out ``num_workers`` replicas, all starting from θ0.
+
+    ``first_model`` lets a caller donate an already-built model as worker
+    0's replica (the simulator reuses its reference model this way).
+    """
+    workers: list[WorkerNode] = []
+    for w in range(num_workers):
+        model = first_model if (w == 0 and first_model is not None) else model_factory()
+        workers.append(
+            build_worker(w, num_workers, model, loader, method, hyper, schedule, theta0=theta0)
+        )
+    return workers
+
+
+def evaluate_global(model: Module, server: ParameterServer, dataset: Dataset) -> "tuple[float, float]":
+    """(accuracy, loss) of the server's θ0 + M on the validation split.
+
+    ``model`` supplies BatchNorm running statistics — they are trained
+    locally and are not part of the PS exchange, so callers pass worker 0's
+    replica (its statistics reflect actual training data).
+    """
+    return evaluate_params(model, server.global_model(), dataset.x_val, dataset.y_val)

@@ -1,0 +1,89 @@
+"""Backend-independent run description.
+
+One :class:`RunConfig` captures everything any of the four execution
+backends needs to set up a distributed training run — the union of what
+the ``ThreadedTrainer`` / ``ProcessTrainer`` / ``SimulatedTrainer`` /
+``SynchronousTrainer`` constructors historically took.  Fields a backend
+does not understand are ignored (and documented as such); the conversions
+between the one global iteration budget and each engine's native knob
+(per-worker iterations, barrier rounds) live here so every backend slices
+the same amount of optimisation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.methods import Hyper, MethodSpec
+from ..data.synthetic import Dataset
+from ..nn.module import Module
+from ..optim.schedules import Schedule
+from ..sim.cluster import ClusterConfig
+
+__all__ = ["RunConfig"]
+
+
+@dataclass
+class RunConfig:
+    """Everything needed to run one distributed training job anywhere."""
+
+    #: method registry name or spec ("asgd", "gd_async", "dgc_async", "dgs")
+    method: "MethodSpec | str"
+    #: zero-arg factory for a fresh model replica (same seed ⇒ same θ0)
+    model_factory: Callable[[], Module]
+    dataset: Dataset
+    num_workers: int
+    batch_size: int
+    #: global gradient-computation budget, shared across workers.  Threaded
+    #: and process backends run ``iterations_per_worker()`` each; the sync
+    #: backend runs ``rounds()`` barriers of ``num_workers`` gradients.
+    total_iterations: int
+    hyper: "Hyper | None" = None
+    schedule: "Schedule | None" = None
+    #: None ⇒ the method's default (``MethodSpec.secondary_default``)
+    secondary_compression: "bool | None" = None
+    #: gap-aware damping (paper ref. [4]); no-op under the sync barrier
+    staleness_damping: bool = False
+    seed: int = 0
+    #: virtual-cluster model; used by the simulated/sync backends only
+    #: (None ⇒ a symmetric 10 Gb/s default via ``resolved_cluster()``)
+    cluster: "ClusterConfig | None" = None
+    #: periodic accuracy evaluation (simulated backend only)
+    eval_every: "int | None" = None
+    #: record the per-exchange virtual timeline (simulated backend only)
+    record_trace: bool = False
+    #: crash injection, worker id → local iteration (simulated backend only)
+    fail_at: "dict[int, int] | None" = None
+    #: per-step telemetry sink, e.g. repro.metrics.RunLogger (simulated only)
+    logger: "object | None" = None
+    #: repro.obs tracer; None ⇒ the ambient tracer at run time
+    tracer: "object | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.total_iterations < 1:
+            raise ValueError("total_iterations must be >= 1")
+
+    # ------------------------------------------------------------------
+    def iterations_per_worker(self) -> int:
+        """Per-worker share of the global budget (threaded/process backends)."""
+        return max(1, self.total_iterations // self.num_workers)
+
+    def rounds(self) -> int:
+        """Barrier rounds covering the global budget (sync backend).
+
+        Each round applies ``num_workers`` gradients (Eq. 7 sums the
+        per-worker updates), so ``rounds × num_workers`` gradient
+        computations match the asynchronous backends' budget.
+        """
+        return max(1, self.total_iterations // self.num_workers)
+
+    def resolved_cluster(self) -> ClusterConfig:
+        """The configured cluster, or a symmetric 10 Gb/s default."""
+        if self.cluster is not None:
+            return self.cluster
+        return ClusterConfig.with_bandwidth(self.num_workers, 10.0, seed=self.seed)

@@ -1,0 +1,41 @@
+"""The one trainer front-end.
+
+``Trainer(config, backend=...)`` — or the one-shot :func:`train` — is the
+single entry point over the pluggable execution backends.  Any method ×
+backend × workload combination runs through here and comes back as one
+unified :class:`~repro.exec.result.TrainResult`::
+
+    from repro.exec import RunConfig, Trainer
+
+    cfg = RunConfig("dgs", model_factory, dataset,
+                    num_workers=4, batch_size=32, total_iterations=400)
+    result = Trainer(cfg, backend="threaded").run()   # or "process",
+    print(result.final_accuracy, result.throughput)   # "simulated", "sync"
+"""
+
+from __future__ import annotations
+
+from .backend import Backend, get_backend
+from .config import RunConfig
+from .result import TrainResult
+
+__all__ = ["Trainer", "train"]
+
+
+class Trainer:
+    """Run one :class:`RunConfig` on a named (or ambient default) backend."""
+
+    def __init__(self, config: RunConfig, backend: "str | Backend | None" = None) -> None:
+        self.config = config
+        self.backend = get_backend(backend)
+        #: the underlying engine, built eagerly so callers can instrument
+        #: pre-run state (e.g. ``trainer.engine.server``) before ``run()``.
+        self.engine = self.backend.create(config)
+
+    def run(self) -> TrainResult:
+        return self.engine.run()
+
+
+def train(config: RunConfig, backend: "str | Backend | None" = None) -> TrainResult:
+    """One-shot convenience: build the backend's engine and run it."""
+    return Trainer(config, backend=backend).run()

@@ -11,11 +11,9 @@ Two claims framed by the paper's introduction and conclusion:
 
 from __future__ import annotations
 
-from ...core.methods import Hyper
+from ...exec import RunConfig, train
 from ...sim.cluster import ClusterConfig, ComputeModel
-from ...sim.engine import SimulatedTrainer
 from ...sim.network import LinkModel
-from ...sim.sync import SynchronousTrainer
 from ..config import get_workload
 from ..report import ExperimentReport
 from .common import resolve_fast
@@ -45,7 +43,6 @@ def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)) -> ExperimentRe
     dataset = wl.dataset(fast)
     epochs = wl.epochs
     total_iters = max(1, epochs * dataset.n_train // wl.batch_size)
-    rounds = max(1, total_iters // num_workers)
     factory = wl.model_factory(seed)
 
     report = ExperimentReport(
@@ -55,19 +52,28 @@ def run(fast: bool | None = None, seeds: tuple[int, ...] = (0,)) -> ExperimentRe
     )
     for label, het in (("homogeneous", 0.0), ("stragglers (×2 spread)", 0.6)):
         cluster = _cluster(num_workers, het, factory(), seed)
-        for mode, method in (("SSGD", "asgd"), ("sync-SAM (§6)", "dgs"), ("ASGD", "asgd"), ("DGS", "dgs")):
-            if mode in ("SSGD", "sync-SAM (§6)"):
-                r = SynchronousTrainer(
-                    method, factory, dataset, cluster, wl.batch_size, rounds,
-                    hyper=wl.hyper, schedule=wl.schedule(epochs), seed=seed,
-                ).run()
-                barrier = f"{r.straggler_time_s:.1f}"
-            else:
-                r = SimulatedTrainer(
-                    method, factory, dataset, cluster, wl.batch_size, total_iters,
-                    hyper=wl.hyper, schedule=wl.schedule(epochs), seed=seed,
-                ).run()
-                barrier = "-"
+        # Same RunConfig on two backends: the barrier's rounds() slices the
+        # identical global budget into num_workers-gradient rounds (Eq. 7).
+        for mode, method, backend in (
+            ("SSGD", "asgd", "sync"),
+            ("sync-SAM (§6)", "dgs", "sync"),
+            ("ASGD", "asgd", "simulated"),
+            ("DGS", "dgs", "simulated"),
+        ):
+            config = RunConfig(
+                method,
+                factory,
+                dataset,
+                num_workers=num_workers,
+                batch_size=wl.batch_size,
+                total_iterations=total_iters,
+                hyper=wl.hyper,
+                schedule=wl.schedule(epochs),
+                seed=seed,
+                cluster=cluster,
+            )
+            r = train(config, backend=backend)
+            barrier = f"{r.straggler_time_s:.1f}" if backend == "sync" else "-"
             report.add_row(label, mode, f"{100 * r.final_accuracy:.2f}%", f"{r.throughput:.0f}", barrier)
     report.add_note(
         "Expected shape: with stragglers, asynchronous throughput beats the barrier "

@@ -6,10 +6,10 @@ from dataclasses import dataclass, replace
 from typing import Mapping
 
 from ..core.methods import Hyper, get_method
+from ..exec import Backend, RunConfig, TrainResult, get_backend
 from ..harness.local import LocalResult, LocalTrainer
 from ..obs.tracer import NullTracer, Tracer
 from ..sim.cluster import ClusterConfig
-from ..sim.engine import SimResult, SimulatedTrainer
 from .config import WorkloadSpec, paper_cluster
 
 __all__ = ["run_distributed", "run_msgd", "run_all_methods", "DISTRIBUTED_METHODS"]
@@ -32,13 +32,20 @@ def run_distributed(
     staleness_damping: bool = False,
     fast: bool | None = None,
     tracer: "Tracer | NullTracer | None" = None,
+    backend: "str | Backend | None" = None,
     seed: int = 0,
-) -> SimResult:
-    """Simulate one distributed run of ``method`` on ``workload``.
+) -> TrainResult:
+    """One distributed run of ``method`` on ``workload``, on any backend.
 
-    ``tracer``: a :class:`repro.obs.Tracer` to stamp with virtual-time
-    spans (defaults to the ambient tracer, so ``use_tracer`` + the CLI's
-    ``--trace`` capture experiment runs without plumbing).
+    ``backend`` names an execution backend from the :mod:`repro.exec`
+    registry (``"threaded"`` | ``"process"`` | ``"simulated"`` | ``"sync"``);
+    None uses the ambient default (``"simulated"`` unless changed with
+    ``repro.exec.use_backend``).  The paper-shaped cluster (``gbps``,
+    ResNet-18 wire scaling) only applies to the virtual-clock backends.
+
+    ``tracer``: a :class:`repro.obs.Tracer` to stamp with spans (defaults
+    to the ambient tracer, so ``use_tracer`` + the CLI's ``--trace``
+    capture experiment runs without plumbing).
     """
     dataset = workload.dataset(fast)
     model_factory = workload.model_factory(seed=seed)
@@ -51,24 +58,26 @@ def run_distributed(
     )
     h = hyper if hyper is not None else workload.hyper
     h = replace(h, iterations_per_epoch=max(1, total_iters // max(total_epochs, 1) // num_workers))
-    if cluster is None:
+    exec_backend = get_backend(backend)
+    if cluster is None and exec_backend.clock == "virtual":
         cluster = paper_cluster(num_workers, gbps, model_factory(), seed=seed)
-    trainer = SimulatedTrainer(
+    config = RunConfig(
         method,
         model_factory,
         dataset,
-        cluster,
+        num_workers=num_workers,
         batch_size=bs,
         total_iterations=total_iters,
         hyper=h,
         schedule=workload.schedule(total_epochs, lr=h.lr),
         secondary_compression=secondary_compression,
-        eval_every=eval_every,
         staleness_damping=staleness_damping,
-        tracer=tracer,
         seed=seed,
+        cluster=cluster,
+        eval_every=eval_every,
+        tracer=tracer,
     )
-    return trainer.run()
+    return exec_backend.run(config)
 
 
 def run_msgd(
@@ -104,9 +113,9 @@ def run_all_methods(
     methods: tuple[str, ...] = DISTRIBUTED_METHODS,
     include_msgd: bool = True,
     **kwargs,
-) -> "dict[str, SimResult | LocalResult]":
+) -> "dict[str, TrainResult | LocalResult]":
     """Run every requested method on identical data/model/cluster settings."""
-    results: dict[str, SimResult | LocalResult] = {}
+    results: dict[str, TrainResult | LocalResult] = {}
     if include_msgd:
         results["msgd"] = run_msgd(
             workload,

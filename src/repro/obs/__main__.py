@@ -70,12 +70,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
     """Tiny traced threaded + simulated runs; writes one JSONL stream."""
+    from dataclasses import replace
+
     from ..core.methods import Hyper
     from ..data.synthetic import make_blobs
+    from ..exec import RunConfig, train
     from ..nn.models.mlp import MLP
-    from ..ps.threaded import ThreadedTrainer
     from ..sim.cluster import ClusterConfig
-    from ..sim.engine import SimulatedTrainer
     from .hooks import profile_hot_paths
     from .metrics import MetricsRegistry
     from .tracer import Tracer, use_tracer
@@ -85,29 +86,24 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     tracer = Tracer(meta={"kind": "trace-smoke", "workers": args.workers})
     registry = MetricsRegistry()
 
+    # Same config through the unified front-end on both clock domains;
+    # config.tracer is None, so both runs emit into the ambient tracer.
+    config = RunConfig(
+        "dgs",
+        lambda: MLP(12, (24,), 4, seed=7),
+        dataset,
+        num_workers=args.workers,
+        batch_size=16,
+        total_iterations=args.workers * args.iterations,
+        hyper=hyper,
+        seed=0,
+    )
     with use_tracer(tracer), profile_hot_paths():
-        threaded = ThreadedTrainer(
-            "dgs",
-            lambda: MLP(12, (24,), 4, seed=7),
-            dataset,
-            num_workers=args.workers,
-            batch_size=16,
-            iterations_per_worker=args.iterations,
-            hyper=hyper,
-            seed=0,
+        t_res = train(config, backend="threaded")
+        s_res = train(
+            replace(config, cluster=ClusterConfig.with_bandwidth(args.workers, 10, compute_mean_s=0.01)),
+            backend="simulated",
         )
-        t_res = threaded.run()
-        sim = SimulatedTrainer(
-            "dgs",
-            lambda: MLP(12, (24,), 4, seed=7),
-            dataset,
-            ClusterConfig.with_bandwidth(args.workers, 10, compute_mean_s=0.01),
-            batch_size=16,
-            total_iterations=args.workers * args.iterations,
-            hyper=hyper,
-            seed=0,
-        )
-        s_res = sim.run()
 
     for name, result in (("threaded", t_res), ("sim", s_res)):
         registry.counter("upload_bytes", layer=name).inc(result.upload_bytes)

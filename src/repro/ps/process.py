@@ -1,13 +1,20 @@
-"""Multi-process parameter-server trainer.
+"""Multi-process parameter-server trainer (the "process" execution backend).
 
 The closest offline stand-in for the paper's multi-machine deployment:
 workers are separate OS processes (true parallel gradient computation, no
 GIL sharing), and every exchange travels as *actual bytes* through an OS
 pipe using the binary wire codec (``repro.ps.codec``) — the same
-``encode()``/``decode()``路径 the paper's gloo transport performs.
+``encode()``/``decode()`` path the paper's gloo transport performs.
 
-Frame format on the pipe: little-endian ``f64 loss`` + codec message bytes
-upstream; codec message bytes downstream; an empty frame closes a worker.
+Frame format on the pipe, upstream (worker → server):
+
+* gradient frame: ``b"G"`` + little-endian ``f64 loss`` + codec message;
+* close frame: ``b"S"`` + little-endian ``i64 samples_processed`` +
+  ``i64 worker_state_bytes`` — the worker's final local accounting, so the
+  unified result can report per-worker fields the parent cannot observe.
+
+Downstream frames are bare codec message bytes.  An empty frame also
+closes a worker (crash path: no final accounting available).
 
 Notes
 -----
@@ -20,42 +27,47 @@ Notes
 * BatchNorm running statistics stay local to each worker process; the
   final evaluation uses a fresh replica's statistics (prefer BN-free
   models for exact numbers here, e.g. MLP).
+
+Prefer the unified front-end (``repro.exec.Trainer`` with
+``backend="process"``); this class remains the underlying engine and a
+thin public adapter.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import struct
-from dataclasses import dataclass
+import time
 from multiprocessing.connection import Connection, wait
 from typing import Callable
 
-from ..core.layerops import assign_parameters, parameters_of
-from ..core.methods import Hyper, MethodSpec, get_method
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
+from ..exec.common import (
+    build_server,
+    build_worker,
+    resolve_hyper,
+    resolve_method,
+    resolve_schedule,
+)
+from ..exec.result import TrainResult
 from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_params
 from ..nn.module import Module
-from ..optim.schedules import ConstantLR, Schedule
+from ..optim.schedules import Schedule
 from .codec import decode_message, encode_message
-from .server import ParameterServer
-from .worker import WorkerNode
 
 __all__ = ["ProcessTrainer", "ProcessResult"]
 
+#: deprecated alias — the process engine now returns the unified schema
+ProcessResult = TrainResult
+
 _LOSS = struct.Struct("<d")
-
-
-@dataclass
-class ProcessResult:
-    final_accuracy: float
-    final_loss: float
-    loss_curve: Curve
-    server_timestamp: int
-    mean_staleness: float
-    wire_bytes_up: int
-    wire_bytes_down: int
+_WORKER_STATS = struct.Struct("<qq")  # samples_processed, worker_state_bytes
+_GRADIENT_FRAME = b"G"
+_CLOSE_FRAME = b"S"
 
 
 def _worker_main(
@@ -72,25 +84,23 @@ def _worker_main(
     schedule: Schedule,
     seed: int,
 ) -> None:
-    model = model_factory()
-    assign_parameters(model, theta0)
-    shapes = {name: arr.shape for name, arr in theta0.items()}
     loader = DataLoader(dataset, batch_size, seed=seed)
-    node = WorkerNode(
-        worker_id,
-        model,
-        loader.worker_iterator(worker_id, num_workers),
-        method.make_strategy(shapes, hyper),
-        schedule=schedule,
+    node = build_worker(
+        worker_id, num_workers, model_factory(), loader, method, hyper, schedule, theta0=theta0
     )
     try:
         for _ in range(iterations):
             msg = node.compute_step()
-            conn.send_bytes(_LOSS.pack(node.last_loss) + encode_message(msg))
+            conn.send_bytes(
+                _GRADIENT_FRAME + _LOSS.pack(node.last_loss) + encode_message(msg)
+            )
             reply = decode_message(conn.recv_bytes())
             node.apply_reply(reply)
     finally:
-        conn.send_bytes(b"")  # close frame
+        conn.send_bytes(
+            _CLOSE_FRAME
+            + _WORKER_STATS.pack(node.samples_processed, node.worker_state_bytes())
+        )
         conn.close()
 
 
@@ -108,13 +118,12 @@ class ProcessTrainer:
         hyper: Hyper | None = None,
         schedule: Schedule | None = None,
         secondary_compression: bool | None = None,
+        staleness_damping: bool = False,
         seed: int = 0,
     ) -> None:
-        self.method = get_method(method) if isinstance(method, str) else method
-        if not self.method.distributed:
-            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
-        self.hyper = hyper if hyper is not None else Hyper()
-        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.method = resolve_method(method)
+        self.hyper = resolve_hyper(hyper)
+        self.schedule = resolve_schedule(schedule, self.hyper)
         self.model_factory = model_factory
         self.dataset = dataset
         self.num_workers = num_workers
@@ -124,23 +133,17 @@ class ProcessTrainer:
 
         self.eval_model = model_factory()
         self.theta0 = parameters_of(self.eval_model)
-        use_secondary = (
-            self.method.secondary_default if secondary_compression is None else secondary_compression
-        )
-        secondary = (
-            self.hyper.secondary_ratio
-            if (self.method.downstream == "difference" and use_secondary)
-            else None
-        )
-        self.server = ParameterServer(
+        self.server = build_server(
+            self.method,
             self.theta0,
             num_workers,
-            downstream=self.method.downstream,
-            secondary_ratio=secondary,
-            secondary_min_sparse_size=self.hyper.min_sparse_size,
+            self.hyper,
+            secondary_compression=secondary_compression,
+            staleness_damping=staleness_damping,
         )
 
-    def run(self) -> ProcessResult:
+    def run(self) -> TrainResult:
+        t_start = time.perf_counter()
         ctx = mp.get_context("fork")
         conns: list[Connection] = []
         procs: list[mp.Process] = []
@@ -171,6 +174,7 @@ class ProcessTrainer:
 
         loss_curve = Curve("loss_vs_server_step")
         wire_up = wire_down = 0
+        samples = worker_state = 0
         open_conns = {id(c): c for c in conns}
         try:
             while open_conns:
@@ -180,12 +184,17 @@ class ProcessTrainer:
                     except EOFError:
                         open_conns.pop(id(conn), None)
                         continue
-                    if not raw:  # close frame
+                    kind = raw[:1]
+                    if kind != _GRADIENT_FRAME:  # close frame (or crash: empty)
+                        if kind == _CLOSE_FRAME:
+                            w_samples, w_state = _WORKER_STATS.unpack_from(raw, 1)
+                            samples += w_samples
+                            worker_state += w_state
                         open_conns.pop(id(conn), None)
                         continue
-                    (loss,) = _LOSS.unpack_from(raw, 0)
-                    msg = decode_message(memoryview(raw)[_LOSS.size :])
-                    wire_up += len(raw) - _LOSS.size
+                    (loss,) = _LOSS.unpack_from(raw, 1)
+                    msg = decode_message(memoryview(raw)[1 + _LOSS.size :])
+                    wire_up += len(raw) - 1 - _LOSS.size
                     reply = self.server.handle(msg)
                     out = encode_message(reply)
                     wire_down += len(out)
@@ -196,17 +205,31 @@ class ProcessTrainer:
                 proc.join(timeout=30)
                 if proc.is_alive():
                     proc.terminate()
+        elapsed = time.perf_counter() - t_start
 
         global_params = self.server.global_model()
         acc, loss = evaluate_params(
             self.eval_model, global_params, self.dataset.x_val, self.dataset.y_val
         )
-        return ProcessResult(
+        stats = self.server.stats
+        return TrainResult(
+            method=self.method.name,
+            backend="process",
+            num_workers=self.num_workers,
             final_accuracy=acc,
             final_loss=loss,
-            loss_curve=loss_curve,
-            server_timestamp=self.server.timestamp,
+            loss_vs_step=loss_curve,
+            total_iterations=self.server.timestamp,
+            samples_processed=samples,
             mean_staleness=self.server.staleness_meter.avg,
+            upload_bytes=stats.upload_bytes,
+            download_bytes=stats.download_bytes,
+            upload_dense_bytes=stats.upload_dense_bytes,
+            download_dense_bytes=stats.download_dense_bytes,
             wire_bytes_up=wire_up,
             wire_bytes_down=wire_down,
+            makespan_s=elapsed,
+            clock="wall",
+            server_state_bytes=self.server.server_state_bytes(),
+            worker_state_bytes=worker_state,
         )

@@ -1,45 +1,45 @@
-"""Real-thread asynchronous trainer.
+"""Real-thread asynchronous trainer (the "threaded" execution backend).
 
 Each worker runs in its own OS thread against a lock-protected
 :class:`ParameterServer` — the genuine HOGWILD-style asynchrony of the
 paper's testbed (workers exchange at their own pace; interleavings are
 non-deterministic).  Used by integration tests and the quickstart; the
 wall-clock experiments use ``repro.sim`` where time is modelled instead.
+
+Prefer the unified front-end (``repro.exec.Trainer`` with
+``backend="threaded"``, or ``run_distributed(..., backend="threaded")``);
+this class remains the underlying engine and a thin public adapter.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
 from typing import Callable
 
-from ..core.layerops import assign_parameters, parameters_of
-from ..core.methods import Hyper, MethodSpec, get_method
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
+from ..exec.common import (
+    build_server,
+    build_workers,
+    evaluate_global,
+    resolve_hyper,
+    resolve_method,
+    resolve_schedule,
+)
+from ..exec.result import TrainResult
 from ..metrics.curves import Curve
-from ..metrics.evaluation import evaluate_params
 from ..nn.module import Module
 from ..obs.tracer import NullTracer, Tracer, current_tracer
-from ..optim.schedules import ConstantLR, Schedule
-from .server import ParameterServer
+from ..optim.schedules import Schedule
 from .worker import WorkerNode
 
 __all__ = ["ThreadedTrainer", "ThreadedResult"]
 
-
-@dataclass
-class ThreadedResult:
-    """Outcome of a threaded training run."""
-
-    final_accuracy: float
-    final_loss: float
-    loss_curve: Curve
-    server_timestamp: int
-    mean_staleness: float
-    upload_bytes: int
-    download_bytes: int
-    errors: list[BaseException] = field(default_factory=list)
+#: deprecated alias — the threaded engine now returns the unified schema
+ThreadedResult = TrainResult
 
 
 class ThreadedTrainer:
@@ -56,14 +56,13 @@ class ThreadedTrainer:
         hyper: Hyper | None = None,
         schedule: Schedule | None = None,
         secondary_compression: bool | None = None,
+        staleness_damping: bool = False,
         seed: int = 0,
         tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
-        self.method = get_method(method) if isinstance(method, str) else method
-        if not self.method.distributed:
-            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
-        self.hyper = hyper if hyper is not None else Hyper()
-        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.method = resolve_method(method)
+        self.hyper = resolve_hyper(hyper)
+        self.schedule = resolve_schedule(schedule, self.hyper)
         self.dataset = dataset
         self.num_workers = num_workers
         self.iterations_per_worker = iterations_per_worker
@@ -71,37 +70,17 @@ class ThreadedTrainer:
         loader = DataLoader(dataset, batch_size, seed=seed)
         self.eval_model = model_factory()
         theta0 = parameters_of(self.eval_model)
-        shapes = {name: arr.shape for name, arr in theta0.items()}
-
-        use_secondary = (
-            self.method.secondary_default if secondary_compression is None else secondary_compression
-        )
-        secondary = (
-            self.hyper.secondary_ratio
-            if (self.method.downstream == "difference" and use_secondary)
-            else None
-        )
-        self.server = ParameterServer(
+        self.server = build_server(
+            self.method,
             theta0,
             num_workers,
-            downstream=self.method.downstream,
-            secondary_ratio=secondary,
-            secondary_min_sparse_size=self.hyper.min_sparse_size,
+            self.hyper,
+            secondary_compression=secondary_compression,
+            staleness_damping=staleness_damping,
         )
-        self.workers: list[WorkerNode] = []
-        for w in range(num_workers):
-            model = model_factory()
-            # All replicas start from the same θ0.
-            assign_parameters(model, theta0)
-            self.workers.append(
-                WorkerNode(
-                    w,
-                    model,
-                    loader.worker_iterator(w, num_workers),
-                    self.method.make_strategy(shapes, self.hyper),
-                    schedule=self.schedule,
-                )
-            )
+        self.workers: list[WorkerNode] = build_workers(
+            num_workers, model_factory, loader, self.method, self.hyper, self.schedule, theta0
+        )
 
         self._loss_lock = threading.Lock()
         self.loss_curve = Curve("loss_vs_server_step")
@@ -132,7 +111,8 @@ class ThreadedTrainer:
         except BaseException as exc:  # surface worker crashes to the caller
             self._errors.append(exc)
 
-    def run(self) -> ThreadedResult:
+    def run(self) -> TrainResult:
+        t_start = time.perf_counter()
         threads = [
             threading.Thread(target=self._worker_loop, args=(node,), name=f"worker-{node.worker_id}")
             for node in self.workers
@@ -141,21 +121,30 @@ class ThreadedTrainer:
             t.start()
         for t in threads:
             t.join()
+        elapsed = time.perf_counter() - t_start
         if self._errors:
             raise RuntimeError(f"{len(self._errors)} worker(s) failed") from self._errors[0]
 
-        global_params = self.server.global_model()
         # Borrow worker 0's replica for evaluation: its BatchNorm running
         # statistics reflect actual training data.
-        acc, loss = evaluate_params(
-            self.workers[0].model, global_params, self.dataset.x_val, self.dataset.y_val
-        )
-        return ThreadedResult(
+        acc, loss = evaluate_global(self.workers[0].model, self.server, self.dataset)
+        stats = self.server.stats
+        return TrainResult(
+            method=self.method.name,
+            backend="threaded",
+            num_workers=self.num_workers,
             final_accuracy=acc,
             final_loss=loss,
-            loss_curve=self.loss_curve,
-            server_timestamp=self.server.timestamp,
+            loss_vs_step=self.loss_curve,
+            total_iterations=self.server.timestamp,
+            samples_processed=sum(n.samples_processed for n in self.workers),
             mean_staleness=self.server.staleness_meter.avg,
-            upload_bytes=self.server.stats.upload_bytes,
-            download_bytes=self.server.stats.download_bytes,
+            upload_bytes=stats.upload_bytes,
+            download_bytes=stats.download_bytes,
+            upload_dense_bytes=stats.upload_dense_bytes,
+            download_dense_bytes=stats.download_dense_bytes,
+            makespan_s=elapsed,
+            clock="wall",
+            server_state_bytes=self.server.server_state_bytes(),
+            worker_state_bytes=sum(n.worker_state_bytes() for n in self.workers),
         )

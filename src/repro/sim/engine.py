@@ -10,6 +10,10 @@ Correctness of the chronology: worker lifecycles are strictly sequential
 (compute → upload → server → download), the uplink is FIFO, and the event
 heap pops upload-ready events in time order — so server updates are applied
 in the order they would arrive on the wire.
+
+Prefer the unified front-end (``repro.exec.Trainer`` with
+``backend="simulated"``, the default backend); this class remains the
+underlying engine and a thin public adapter.
 """
 
 from __future__ import annotations
@@ -20,22 +24,32 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.layerops import assign_parameters, parameters_of
-from ..core.methods import Hyper, MethodSpec, get_method
+from ..core.layerops import parameters_of
+from ..core.methods import Hyper, MethodSpec
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
+from ..exec.common import (
+    build_server,
+    build_workers,
+    evaluate_global,
+    resolve_hyper,
+    resolve_method,
+    resolve_schedule,
+)
+from ..exec.result import TrainResult
 from ..metrics.curves import Curve
-from ..metrics.evaluation import evaluate_params
 from ..metrics.meters import EMAMeter
 from ..nn.module import Module
 from ..obs.tracer import NullTracer, Tracer, current_tracer
-from ..optim.schedules import ConstantLR, Schedule
-from ..ps.server import ParameterServer
+from ..optim.schedules import Schedule
 from ..ps.worker import WorkerNode
 from .cluster import ClusterConfig
 from .network import SharedLink
 
 __all__ = ["SimulatedTrainer", "SimResult", "TraceEvent"]
+
+#: deprecated alias — the simulator now returns the unified schema
+SimResult = TrainResult
 
 
 @dataclass(frozen=True)
@@ -52,43 +66,6 @@ class TraceEvent:
     staleness: int
     up_bytes: int  # unscaled message bytes
     down_bytes: int
-
-
-@dataclass
-class SimResult:
-    """Everything a benchmark needs from one simulated run."""
-
-    method: str
-    num_workers: int
-    final_accuracy: float
-    final_loss: float
-    loss_vs_step: Curve
-    loss_vs_time: Curve
-    acc_vs_step: Curve
-    makespan_s: float
-    total_iterations: int
-    samples_processed: int
-    mean_staleness: float
-    upload_bytes: int
-    download_bytes: int
-    upload_dense_bytes: int
-    download_dense_bytes: int
-    uplink_utilisation: float
-    downlink_utilisation: float
-    server_state_bytes: int
-    worker_state_bytes: int
-    trace: "list[TraceEvent] | None" = None
-
-    @property
-    def throughput(self) -> float:
-        """Training throughput in samples per virtual second."""
-        return self.samples_processed / self.makespan_s if self.makespan_s > 0 else 0.0
-
-    @property
-    def compression_ratio(self) -> float:
-        dense = self.upload_dense_bytes + self.download_dense_bytes
-        actual = self.upload_bytes + self.download_bytes
-        return dense / actual if actual else 1.0
 
 
 class SimulatedTrainer:
@@ -113,13 +90,11 @@ class SimulatedTrainer:
         tracer: "Tracer | NullTracer | None" = None,
         seed: int = 0,
     ) -> None:
-        self.method = get_method(method) if isinstance(method, str) else method
-        if not self.method.distributed:
-            raise ValueError(f"method {self.method.name!r} is single-node; use LocalTrainer")
+        self.method = resolve_method(method)
         if total_iterations < 1:
             raise ValueError("total_iterations must be >= 1")
-        self.hyper = hyper if hyper is not None else Hyper()
-        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.hyper = resolve_hyper(hyper)
+        self.schedule = resolve_schedule(schedule, self.hyper)
         self.dataset = dataset
         self.cluster = cluster
         self.batch_size = batch_size
@@ -142,37 +117,26 @@ class SimulatedTrainer:
         loader = DataLoader(dataset, batch_size, seed=seed)
         ref_model = model_factory()
         theta0 = parameters_of(ref_model)
-        shapes = {name: arr.shape for name, arr in theta0.items()}
-
-        use_secondary = (
-            self.method.secondary_default if secondary_compression is None else secondary_compression
-        )
-        secondary = (
-            self.hyper.secondary_ratio
-            if (self.method.downstream == "difference" and use_secondary)
-            else None
-        )
-        self.server = ParameterServer(
+        self.server = build_server(
+            self.method,
             theta0,
             num_workers,
-            downstream=self.method.downstream,
-            secondary_ratio=secondary,
-            secondary_min_sparse_size=self.hyper.min_sparse_size,
+            self.hyper,
+            secondary_compression=secondary_compression,
             staleness_damping=staleness_damping,
         )
-        self.workers: list[WorkerNode] = []
-        for w in range(num_workers):
-            model = ref_model if w == 0 else model_factory()
-            assign_parameters(model, theta0)
-            self.workers.append(
-                WorkerNode(
-                    w,
-                    model,
-                    loader.worker_iterator(w, num_workers),
-                    self.method.make_strategy(shapes, self.hyper),
-                    schedule=self.schedule,
-                )
-            )
+        # Worker 0 reuses the reference model (its BatchNorm statistics
+        # then reflect actual training data for _evaluate_global).
+        self.workers: list[WorkerNode] = build_workers(
+            num_workers,
+            model_factory,
+            loader,
+            self.method,
+            self.hyper,
+            self.schedule,
+            theta0,
+            first_model=ref_model,
+        )
 
         self.uplink = SharedLink(cluster.uplink)
         # Half-duplex: both directions contend for the same FIFO resource.
@@ -180,7 +144,7 @@ class SimulatedTrainer:
         self._speed = cluster.compute.worker_speed_factors(num_workers, self._rng)
 
     # ------------------------------------------------------------------
-    def run(self) -> SimResult:
+    def run(self) -> TrainResult:
         cluster = self.cluster
         compute = cluster.compute
         loss_vs_step = Curve("loss_vs_step")
@@ -309,8 +273,9 @@ class SimulatedTrainer:
         if self.eval_every is not None and (not len(acc_vs_step) or acc_vs_step.xs[-1] < applied):
             acc_vs_step.add(applied, final_acc)
 
-        return SimResult(
+        return TrainResult(
             method=self.method.name,
+            backend="simulated",
             num_workers=cluster.num_workers,
             final_accuracy=final_acc,
             final_loss=final_loss,
@@ -318,6 +283,7 @@ class SimulatedTrainer:
             loss_vs_time=loss_vs_time,
             acc_vs_step=acc_vs_step,
             makespan_s=makespan,
+            clock="virtual",
             total_iterations=applied,
             samples_processed=sum(n.samples_processed for n in self.workers),
             mean_staleness=self.server.staleness_meter.avg,
@@ -338,7 +304,4 @@ class SimulatedTrainer:
 
         Worker 0's replica supplies BatchNorm running statistics (they are
         trained locally and are not part of the PS exchange)."""
-        params = self.server.global_model()
-        return evaluate_params(
-            self.workers[0].model, params, self.dataset.x_val, self.dataset.y_val
-        )
+        return evaluate_global(self.workers[0].model, self.server, self.dataset)

@@ -14,26 +14,31 @@ version, transforms them through its strategy, the server sums the updates
 update.  Virtual time per round = straggler compute time + serialised
 uploads + server step + serialised per-worker downloads, all through the
 shared link model.
+
+Prefer the unified front-end (``repro.exec.Trainer`` with
+``backend="sync"``); this class remains the underlying engine and a thin
+public adapter.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..compression.coding import SparseTensor
 from ..core.layerops import add_payload, parameters_of
-from ..core.methods import Hyper, MethodSpec, get_method
+from ..core.methods import Hyper, MethodSpec
 from ..data.loader import DataLoader
 from ..data.synthetic import Dataset
+from ..exec.common import resolve_hyper, resolve_method, resolve_schedule
+from ..exec.result import TrainResult
 from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_model
 from ..metrics.meters import EMAMeter
 from ..nn.module import Module
-from ..optim.schedules import ConstantLR, Schedule
+from ..optim.schedules import Schedule
 from ..ps.messages import payload_dense_nbytes
 from ..ps.worker import WorkerNode
 from .cluster import ClusterConfig
@@ -41,27 +46,8 @@ from .network import SharedLink
 
 __all__ = ["SynchronousTrainer", "SyncResult"]
 
-
-@dataclass
-class SyncResult:
-    """Outcome of one synchronous training run."""
-
-    method: str
-    num_workers: int
-    final_accuracy: float
-    final_loss: float
-    loss_vs_step: Curve
-    loss_vs_time: Curve
-    makespan_s: float
-    rounds: int
-    samples_processed: int
-    upload_bytes: int
-    download_bytes: int
-    straggler_time_s: float  # time lost waiting at the barrier
-
-    @property
-    def throughput(self) -> float:
-        return self.samples_processed / self.makespan_s if self.makespan_s > 0 else 0.0
+#: deprecated alias — the synchronous engine now returns the unified schema
+SyncResult = TrainResult
 
 
 class SynchronousTrainer:
@@ -79,11 +65,12 @@ class SynchronousTrainer:
         schedule: Schedule | None = None,
         seed: int = 0,
     ) -> None:
-        self.method = get_method(method) if isinstance(method, str) else method
+        # SSGD has no server, so single-node methods (e.g. msgd) are allowed.
+        self.method = resolve_method(method, require_distributed=False)
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
-        self.hyper = hyper if hyper is not None else Hyper()
-        self.schedule = schedule if schedule is not None else ConstantLR(self.hyper.lr)
+        self.hyper = resolve_hyper(hyper)
+        self.schedule = resolve_schedule(schedule, self.hyper)
         self.dataset = dataset
         self.cluster = cluster
         self.rounds = rounds
@@ -110,7 +97,7 @@ class SynchronousTrainer:
         self._params = dict(self.model.named_parameters())
 
     # ------------------------------------------------------------------
-    def run(self) -> SyncResult:
+    def run(self) -> TrainResult:
         cluster = self.cluster
         n = cluster.num_workers
         wire = cluster.wire_scale
@@ -121,6 +108,7 @@ class SynchronousTrainer:
         clock = 0.0
         straggler_lost = 0.0
         upload_bytes = 0
+        upload_dense_bytes = 0
         download_bytes = 0
         samples = 0
 
@@ -142,6 +130,7 @@ class SynchronousTrainer:
             for msg in msgs:
                 _, t = self.uplink.reserve(t, int(msg.nbytes() * wire))
                 upload_bytes += msg.nbytes()
+                upload_dense_bytes += payload_dense_nbytes(msg.payload)
             t += cluster.server_overhead_s
 
             # 4) Aggregate and apply to the global model.  Eq. (7) SUMS the
@@ -174,17 +163,28 @@ class SynchronousTrainer:
             loss_vs_time.add(clock, smoothed)
 
         acc, loss = evaluate_model(self.model, self.dataset.x_val, self.dataset.y_val)
-        return SyncResult(
+        return TrainResult(
             method=self.method.name,
+            backend="sync",
             num_workers=n,
             final_accuracy=acc,
             final_loss=loss,
             loss_vs_step=loss_vs_step,
             loss_vs_time=loss_vs_time,
             makespan_s=clock,
+            clock="virtual",
             rounds=self.rounds,
+            # One aggregated application per round does the optimisation
+            # work of n sequential async updates (Eq. 7).
+            total_iterations=self.rounds * n,
             samples_processed=samples,
+            mean_staleness=0.0,  # the barrier makes every gradient current
             upload_bytes=upload_bytes,
             download_bytes=download_bytes,
+            upload_dense_bytes=upload_dense_bytes,
+            download_dense_bytes=download_bytes,  # broadcast is already dense
+            uplink_utilisation=self.uplink.utilisation(clock),
+            downlink_utilisation=self.downlink.utilisation(clock),
+            worker_state_bytes=sum(node.worker_state_bytes() for node in self.workers),
             straggler_time_s=straggler_lost,
         )

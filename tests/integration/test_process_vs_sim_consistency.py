@@ -10,10 +10,13 @@ import pytest
 
 from repro.core import Hyper
 from repro.data import DataLoader, make_blobs
+from repro.exec import RunConfig, Trainer, get_backend, list_backends, train, validate_result
 from repro.nn import MLP
 from repro.sim import ClusterConfig, SimulatedTrainer
 
 HYPER = Hyper(lr=0.1, momentum=0.7, ratio=0.1, min_sparse_size=0)
+#: dense ASGD — no sparsification, so 1-worker runs are scheduling-free
+DENSE_HYPER = Hyper(lr=0.1, momentum=0.7)
 
 
 @pytest.fixture(scope="module")
@@ -97,3 +100,62 @@ class TestEngineAgreementStatistics:
         ).run()
         assert abs(s.final_accuracy - p.final_accuracy) < 0.2
         assert p.server_timestamp == s.total_iterations
+
+
+class TestCrossBackendParity:
+    """One RunConfig through the registry: the substrate must not change
+    the math.  Dense ASGD with one worker has no scheduling freedom and no
+    sparsification ties, so the final server model is substrate-independent
+    (exactly on in-process backends; float32-close through the wire codec).
+    """
+
+    def _run(self, backend, ds, factory):
+        config = RunConfig(
+            "asgd",
+            factory,
+            ds,
+            num_workers=1,
+            batch_size=16,
+            total_iterations=30,
+            hyper=DENSE_HYPER,
+            seed=0,
+        )
+        trainer = Trainer(config, backend=backend)
+        result = trainer.run()
+        return trainer.engine.server.global_model(), result
+
+    def test_threaded_identical_to_simulated(self, ds, factory):
+        t_params, t_res = self._run("threaded", ds, factory)
+        s_params, s_res = self._run("simulated", ds, factory)
+        assert t_params.keys() == s_params.keys()
+        for name in t_params:
+            np.testing.assert_array_equal(t_params[name], s_params[name])
+        assert t_res.total_iterations == s_res.total_iterations == 30
+        assert t_res.final_accuracy == s_res.final_accuracy
+
+    def test_process_float32_close_to_simulated(self, ds, factory):
+        """The process backend casts every exchange to float32 on the wire,
+        so replicas drift from the in-process runs at float32 resolution."""
+        p_params, p_res = self._run("process", ds, factory)
+        s_params, _ = self._run("simulated", ds, factory)
+        for name in s_params:
+            np.testing.assert_allclose(p_params[name], s_params[name], rtol=1e-4, atol=1e-5)
+        assert p_res.total_iterations == 30
+
+    def test_every_registered_backend_returns_valid_unified_result(self, ds, factory):
+        config = RunConfig(
+            "dgs",
+            factory,
+            ds,
+            num_workers=2,
+            batch_size=16,
+            total_iterations=24,
+            hyper=HYPER,
+            seed=0,
+        )
+        for name in list_backends():
+            backend = get_backend(name)
+            result = train(config, backend=backend)
+            problems = validate_result(result, measures=backend.measures)
+            assert not problems, f"{name}: {problems}"
+            assert result.backend == name

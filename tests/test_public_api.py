@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.optim",
     "repro.compression",
     "repro.core",
+    "repro.exec",
     "repro.ps",
     "repro.sim",
     "repro.metrics",
