@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench-smoke trace-smoke backend-matrix
+.PHONY: lint test bench-smoke trace-smoke backend-matrix comm-smoke
 
 ## Static analysis: AST lint + lock discipline + sanitizer self-check.
 lint:
@@ -19,6 +19,11 @@ bench-smoke:
 ## is validated against the unified TrainResult schema and must learn.
 backend-matrix:
 	$(PYTHON) -m repro.exec --iters 40 --workers 2
+
+## Loopback smoke for the channel layer: every frame kind and payload
+## type round-tripped over a real OS pipe.
+comm-smoke:
+	$(PYTHON) -m repro.comm
 
 ## Traced 2-worker threaded + simulated runs, then validate the export
 ## (repro.obs convert exits non-zero on any schema violation).

@@ -5,6 +5,7 @@ Public surface:
 
 * ``repro.core`` — DGS: SAMomentum, model-difference tracking, baselines
 * ``repro.exec`` — unified Trainer front-end over pluggable execution backends
+* ``repro.comm`` — typed frames + the channel layer under every backend
 * ``repro.ps`` / ``repro.sim`` — parameter-server substrates (threads / virtual clock)
 * ``repro.autograd`` / ``repro.nn`` — the from-scratch training substrate
 * ``repro.compression`` — sparsifiers, quantiser, wire coding
@@ -17,6 +18,7 @@ Public surface:
 from . import (
     analysis,
     autograd,
+    comm,
     compression,
     core,
     data,
@@ -42,6 +44,7 @@ __all__ = [
     "compression",
     "core",
     "exec",
+    "comm",
     "ps",
     "sim",
     "metrics",

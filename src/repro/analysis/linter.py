@@ -35,6 +35,9 @@ HOT_PATH_PREFIXES = ("autograd/", "compression/", "ps/", "optim/")
 #: subpackages allowed to mutate ``Tensor.data`` in place
 TENSOR_MUTATION_ALLOWED = ("autograd/", "optim/")
 
+#: the only places allowed to do wire framing (struct, pipes, codec calls)
+FRAMING_ALLOWED = ("comm/", "ps/codec.py")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -46,6 +49,7 @@ class LintConfig:
 
     hot_path_prefixes: "tuple[str, ...]" = HOT_PATH_PREFIXES
     tensor_mutation_allowed: "tuple[str, ...]" = TENSOR_MUTATION_ALLOWED
+    framing_allowed: "tuple[str, ...]" = FRAMING_ALLOWED
     #: basenames never linted for export rules (CLI entry points)
     entry_point_names: "tuple[str, ...]" = ("__main__.py",)
 
@@ -65,6 +69,9 @@ class ModuleInfo:
 
     def may_mutate_tensor_data(self, config: LintConfig) -> bool:
         return self.relpath.startswith(config.tensor_mutation_allowed)
+
+    def may_do_wire_framing(self, config: LintConfig) -> bool:
+        return self.relpath.startswith(config.framing_allowed)
 
     def is_entry_point(self, config: LintConfig) -> bool:
         return Path(self.relpath).name in config.entry_point_names

@@ -31,8 +31,11 @@ __all__ = [
     "SERVER_GUARDED_ATTRS",
 ]
 
-#: ParameterServer attributes wrapped by default
-SERVER_GUARDED_ATTRS = ("tracker", "stats", "staleness_meter")
+#: ParameterServer attributes wrapped by default.  ``stats`` is not here:
+#: byte accounting moved into the channel layer (``repro.comm``), which
+#: records into a self-synchronising ``CompressionStats`` outside the
+#: server lock by design.
+SERVER_GUARDED_ATTRS = ("tracker", "staleness_meter")
 
 
 class CheckedLock:

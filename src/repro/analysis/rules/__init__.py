@@ -9,6 +9,7 @@ in a module here and register the class in :data:`RULE_CLASSES`
 from __future__ import annotations
 
 from ..linter import Rule
+from .comm import WireFramingRule
 from .dtype import MissingDtypeRule
 from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
 from .randomness import ModuleLevelRNGRule
@@ -27,6 +28,7 @@ RULE_CLASSES: "tuple[type[Rule], ...]" = (
     MissingAllRule,
     MissingDtypeRule,
     TensorDataMutationRule,
+    WireFramingRule,
 )
 
 

@@ -1,0 +1,62 @@
+"""repro.comm — one typed channel layer under all four backends.
+
+Every worker↔server exchange in the repo crosses a :class:`Channel`
+speaking the typed frame vocabulary of :mod:`repro.comm.frames`:
+
+* **threaded** — :class:`InProcChannel` (synchronous dispatch; optional
+  wire-fidelity mode round-trips bytes through the real codec);
+* **process** — :class:`PipeChannel` + :func:`serve_pipe_channels`
+  (real bytes over OS pipes, crash-tolerant serving loop);
+* **simulated / sync** — :class:`SimChannel` / :class:`SimTransport`
+  (frames cost virtual link time on the paper's modelled testbed).
+
+The channel layer owns byte accounting and ``comm.send`` / ``comm.recv``
+obs spans, so ``TrainResult`` byte fields and traces mean the same thing
+on every substrate.  See ``docs/comm.md`` for the frame schema and the
+channel contract.
+"""
+
+from . import channel, frames, pipe, protocol, sim
+from .channel import Channel, ChannelClosed, InProcChannel, ServerService
+from .frames import (
+    FRAME_MAGIC,
+    CloseFrame,
+    DiffFrame,
+    Frame,
+    GradientFrame,
+    ModelFrame,
+    decode_frame,
+    encode_frame,
+    reply_frame,
+)
+from .pipe import PipeChannel, ServeReport, serve_pipe_channels
+from .protocol import run_worker_loop
+from .sim import SimChannel, SimTransfer, SimTransport
+
+__all__ = [
+    "channel",
+    "frames",
+    "pipe",
+    "protocol",
+    "sim",
+    "FRAME_MAGIC",
+    "Frame",
+    "GradientFrame",
+    "DiffFrame",
+    "ModelFrame",
+    "CloseFrame",
+    "encode_frame",
+    "decode_frame",
+    "reply_frame",
+    "Channel",
+    "ChannelClosed",
+    "ServerService",
+    "InProcChannel",
+    "PipeChannel",
+    "ServeReport",
+    "serve_pipe_channels",
+    "SimChannel",
+    "SimTransfer",
+    "SimTransport",
+    "run_worker_loop",
+]

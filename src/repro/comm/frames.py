@@ -1,0 +1,220 @@
+"""Typed frames — everything that crosses a worker↔server channel.
+
+DGS's contribution is what travels on the wire in *both* directions
+(Algorithms 1/2, Eq. 5–6), so the wire vocabulary is small and explicit:
+
+* :class:`GradientFrame` — upstream ``encode(g_{k,t})`` plus the worker's
+  training loss for that step (the server side records loss curves without
+  a second side channel);
+* :class:`DiffFrame` / :class:`ModelFrame` — the two downstream modes
+  (sparse model difference ``G_k`` vs full dense model);
+* :class:`CloseFrame` — explicit end-of-stream with the worker's final
+  local accounting (samples processed, strategy buffer bytes) and an
+  optional error description.  A channel that dies *without* a close frame
+  is a crash; the serving loop reports it instead of hanging.
+
+The byte representation wraps the payload codec (``repro.ps.codec``) in a
+one-byte frame header, replacing the ad-hoc ``b"G"``/``b"S"`` tag bytes the
+process backend used to hand-roll::
+
+    frame    := magic u8 | kind u8 | body
+    kind 0   : loss f64 | codec message                    (gradient)
+    kind 1/2 : staleness i32 | codec message               (diff / model)
+    kind 3   : worker i32 | samples i64 | state_bytes i64 |
+               err_len u16 | err utf-8                     (close)
+
+(`-1` in the close accounting fields means "not reported"; a zero-length
+error means "no error", so an empty error string normalises to ``None``.)
+
+Frames also carry the *analytic* byte accounting every backend reports
+(:meth:`nbytes` / :meth:`dense_nbytes`), so ``TrainResult`` byte fields
+mean the same thing whether the frame crossed an OS pipe, a thread
+boundary, or a simulated link.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..ps.codec import decode_message, encode_message
+from ..ps.messages import DiffMessage, GradientMessage, ModelMessage
+
+__all__ = [
+    "FRAME_MAGIC",
+    "Frame",
+    "GradientFrame",
+    "DiffFrame",
+    "ModelFrame",
+    "CloseFrame",
+    "reply_frame",
+    "encode_frame",
+    "decode_frame",
+]
+
+FRAME_MAGIC = 0xDF  # one-byte frame magic ("Dual-way Frame")
+
+_HEADER = struct.Struct("<BB")  # magic, kind
+_LOSS = struct.Struct("<d")
+_STALENESS = struct.Struct("<i")  # diff/model: the codec header has no slot for it
+_CLOSE = struct.Struct("<iqq")  # worker_id, samples, state_bytes (-1 ⇒ not reported)
+_ERR_LEN = struct.Struct("<H")
+
+_KIND_GRADIENT = 0
+_KIND_DIFF = 1
+_KIND_MODEL = 2
+_KIND_CLOSE = 3
+
+
+@dataclass(frozen=True)
+class GradientFrame:
+    """Upstream: one compressed gradient plus the step's training loss."""
+
+    message: GradientMessage
+    loss: float
+
+    @property
+    def worker_id(self) -> int:
+        return self.message.worker_id
+
+    def nbytes(self) -> int:
+        """Analytic payload bytes (the accounting every backend reports)."""
+        return self.message.nbytes()
+
+    def dense_nbytes(self) -> int:
+        return self.message.dense_nbytes()
+
+
+@dataclass(frozen=True)
+class DiffFrame:
+    """Downstream: the server's sparse model difference ``G_k``."""
+
+    message: DiffMessage
+
+    @property
+    def worker_id(self) -> int:
+        return self.message.worker_id
+
+    def nbytes(self) -> int:
+        return self.message.nbytes()
+
+    def dense_nbytes(self) -> int:
+        return self.message.dense_nbytes()
+
+
+@dataclass(frozen=True)
+class ModelFrame:
+    """Downstream for vanilla ASGD / sync broadcast: the dense model."""
+
+    message: ModelMessage
+
+    @property
+    def worker_id(self) -> int:
+        return self.message.worker_id
+
+    def nbytes(self) -> int:
+        return self.message.nbytes()
+
+    def dense_nbytes(self) -> int:
+        return self.message.dense_nbytes()
+
+
+@dataclass(frozen=True)
+class CloseFrame:
+    """Explicit end-of-stream with the worker's final local accounting.
+
+    ``samples_processed`` / ``worker_state_bytes`` are ``None`` when the
+    sender could not report them; ``error`` carries a crash description
+    when the worker loop died with an exception (the accounting observed
+    up to the failure is still attached).
+    """
+
+    worker_id: int = -1
+    samples_processed: "int | None" = None
+    worker_state_bytes: "int | None" = None
+    error: "str | None" = None
+
+    def nbytes(self) -> int:
+        """Close frames carry no payload; they cost only their header."""
+        return 0
+
+    def dense_nbytes(self) -> int:
+        return 0
+
+
+Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame"
+
+
+def reply_frame(msg: "DiffMessage | ModelMessage") -> "DiffFrame | ModelFrame":
+    """Wrap a server reply message in its downstream frame type."""
+    if isinstance(msg, DiffMessage):
+        return DiffFrame(msg)
+    if isinstance(msg, ModelMessage):
+        return ModelFrame(msg)
+    raise TypeError(f"not a downstream message: {type(msg).__name__}")
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise any frame to its wire representation."""
+    if isinstance(frame, GradientFrame):
+        return (
+            _HEADER.pack(FRAME_MAGIC, _KIND_GRADIENT)
+            + _LOSS.pack(frame.loss)
+            + encode_message(frame.message)
+        )
+    if isinstance(frame, (DiffFrame, ModelFrame)):
+        kind = _KIND_DIFF if isinstance(frame, DiffFrame) else _KIND_MODEL
+        return (
+            _HEADER.pack(FRAME_MAGIC, kind)
+            + _STALENESS.pack(frame.message.staleness)
+            + encode_message(frame.message)
+        )
+    if isinstance(frame, CloseFrame):
+        err = frame.error.encode("utf-8") if frame.error is not None else b""
+        samples = -1 if frame.samples_processed is None else frame.samples_processed
+        state = -1 if frame.worker_state_bytes is None else frame.worker_state_bytes
+        return (
+            _HEADER.pack(FRAME_MAGIC, _KIND_CLOSE)
+            + _CLOSE.pack(frame.worker_id, samples, state)
+            + _ERR_LEN.pack(len(err))
+            + err
+        )
+    raise TypeError(f"cannot encode {type(frame).__name__}")
+
+
+def decode_frame(raw: "bytes | memoryview") -> Frame:
+    """Inverse of :func:`encode_frame`."""
+    buf = memoryview(raw)
+    if len(buf) < _HEADER.size:
+        raise ValueError("truncated frame (no header)")
+    magic, kind = _HEADER.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC:
+        raise ValueError("bad magic: not a repro.comm frame")
+    off = _HEADER.size
+    if kind == _KIND_GRADIENT:
+        (loss,) = _LOSS.unpack_from(buf, off)
+        msg = decode_message(buf[off + _LOSS.size :])
+        if not isinstance(msg, GradientMessage):
+            raise ValueError("gradient frame wraps a non-gradient message")
+        return GradientFrame(msg, loss)
+    if kind in (_KIND_DIFF, _KIND_MODEL):
+        (staleness,) = _STALENESS.unpack_from(buf, off)
+        msg = decode_message(buf[off + _STALENESS.size :])
+        expected = DiffMessage if kind == _KIND_DIFF else ModelMessage
+        if not isinstance(msg, expected):
+            raise ValueError(f"frame kind {kind} wraps a {type(msg).__name__}")
+        msg.staleness = staleness  # the codec header has no staleness slot
+        return reply_frame(msg)
+    if kind == _KIND_CLOSE:
+        worker, samples, state = _CLOSE.unpack_from(buf, off)
+        off += _CLOSE.size
+        (err_len,) = _ERR_LEN.unpack_from(buf, off)
+        off += _ERR_LEN.size
+        error = bytes(buf[off : off + err_len]).decode("utf-8") if err_len else None
+        return CloseFrame(
+            worker_id=worker,
+            samples_processed=samples if samples >= 0 else None,
+            worker_state_bytes=state if state >= 0 else None,
+            error=error,
+        )
+    raise ValueError(f"unknown frame kind {kind}")

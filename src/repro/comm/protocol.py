@@ -1,0 +1,77 @@
+"""The worker protocol loop shared by the threaded and process backends.
+
+Algorithms 1 and 3 describe one worker loop — compute → upload → download
+→ apply — and before this module each backend carried its own copy with
+its own transport welded in.  :func:`run_worker_loop` is that loop written
+once against the :class:`~repro.comm.channel.Channel` contract; the
+backend chooses the channel (in-process dispatch, OS pipe) and the loop
+stays identical, ending with an explicit
+:class:`~repro.comm.frames.CloseFrame` carrying the worker's final local
+accounting — on the success path *and* on the exception path (where the
+close frame also names the error, so the server side can report a partial
+result instead of hanging or guessing).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from ..obs.tracer import current_tracer
+from .channel import ChannelClosed
+from .frames import CloseFrame, GradientFrame
+
+if TYPE_CHECKING:
+    from ..ps.worker import WorkerNode
+    from .channel import Channel
+
+__all__ = ["run_worker_loop"]
+
+
+def run_worker_loop(
+    node: "WorkerNode",
+    channel: "Channel",
+    iterations: int,
+    tracer: "object | None" = None,
+    on_step: "Callable[[WorkerNode], None] | None" = None,
+    on_iteration: "Callable[[int], None] | None" = None,
+) -> None:
+    """Drive ``node`` through ``iterations`` exchanges over ``channel``.
+
+    ``on_step`` runs after each applied reply (trainers record loss curves
+    there); ``on_iteration`` runs before each compute step and exists for
+    fault injection (e.g. the process backend's hard-crash hook).  The
+    close frame is sent from a ``finally`` block: a worker that raises
+    still reports the samples it processed and the error that killed it.
+    """
+    tracer = tracer if tracer is not None else current_tracer()
+    error: "str | None" = None
+    try:
+        for i in range(iterations):
+            if on_iteration is not None:
+                on_iteration(i)
+            with tracer.span("worker.step", cat="worker", worker=node.worker_id, iteration=i):
+                with tracer.span("worker.compute", cat="worker", worker=node.worker_id):
+                    msg = node.compute_step()
+                channel.send(GradientFrame(msg, node.last_loss))
+                reply = channel.recv()
+                with tracer.span("worker.apply", cat="worker", worker=node.worker_id):
+                    node.apply_reply(reply.message)
+            if on_step is not None:
+                on_step(node)
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+        raise
+    finally:
+        try:
+            channel.send(
+                CloseFrame(
+                    worker_id=node.worker_id,
+                    samples_processed=node.samples_processed,
+                    worker_state_bytes=node.worker_state_bytes(),
+                    error=error,
+                )
+            )
+        except (OSError, ChannelClosed):
+            pass  # transport already gone: the server side reports the crash
+        finally:
+            channel.close()

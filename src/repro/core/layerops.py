@@ -26,6 +26,7 @@ __all__ = [
     "assign_parameters",
     "add_payload",
     "copy_payload",
+    "scale_payload",
     "add_scaled",
     "total_size",
     "total_nbytes",
@@ -92,6 +93,46 @@ def copy_payload(params: Mapping[str, object], values: Mapping[str, np.ndarray])
     """Overwrite parameters with ``values`` layerwise (dense replacement)."""
     for name, arr in values.items():
         np.copyto(params[name].data, arr)  # repro: noqa TEN001 — blessed mutation site
+
+
+def scale_payload(payload: Mapping[str, object], factor: float) -> "OrderedDict[str, object]":
+    """Scale a per-layer update by ``factor`` without mutating the original.
+
+    Used by the server's staleness damping (gap-aware 1/(τ+1) scaling).
+    Every codec type is scaled in its compressed form — quantised payloads
+    fold the factor into their scalar scale/norm field — so damping never
+    materialises a dense tensor or changes a payload's wire size.
+    """
+    from ..compression.coding import (
+        BitmapTensor,
+        DenseTensor,
+        QuantizedSparseTensor,
+        SparseTensor,
+    )
+    from ..compression.qsgd import QSGDTensor
+    from ..compression.terngrad import TernaryTensor
+
+    out: "OrderedDict[str, object]" = OrderedDict()
+    for name, layer in payload.items():
+        if isinstance(layer, SparseTensor):
+            out[name] = SparseTensor(layer.indices, layer.values * factor, layer.shape)
+        elif isinstance(layer, BitmapTensor):
+            out[name] = BitmapTensor(layer.bitmap, layer.values * factor, layer.shape)
+        elif isinstance(layer, QuantizedSparseTensor):
+            out[name] = QuantizedSparseTensor(
+                layer.indices, layer.signs, layer.scale * factor, layer.shape
+            )
+        elif isinstance(layer, TernaryTensor):
+            out[name] = TernaryTensor(layer.signs, layer.scale * factor, layer.shape)
+        elif isinstance(layer, QSGDTensor):
+            out[name] = QSGDTensor(layer.levels, layer.norm * factor, layer.s, layer.shape)
+        elif isinstance(layer, DenseTensor):
+            out[name] = DenseTensor(layer.data * factor)
+        elif isinstance(layer, np.ndarray):
+            out[name] = layer * factor
+        else:  # unknown payload type: dense is the only safe route left
+            out[name] = layer.to_dense() * factor
+    return out
 
 
 def add_scaled(

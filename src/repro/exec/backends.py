@@ -71,6 +71,7 @@ class ThreadedBackend(_BackendBase):
             staleness_damping=config.staleness_damping,
             seed=config.seed,
             tracer=config.tracer,
+            wire_fidelity=config.wire_fidelity,
         )
 
 
@@ -96,6 +97,7 @@ class ProcessBackend(_BackendBase):
             secondary_compression=config.secondary_compression,
             staleness_damping=config.staleness_damping,
             seed=config.seed,
+            fail_at=config.fail_at,
         )
 
 

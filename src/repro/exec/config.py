@@ -53,8 +53,16 @@ class RunConfig:
     eval_every: "int | None" = None
     #: record the per-exchange virtual timeline (simulated backend only)
     record_trace: bool = False
-    #: crash injection, worker id → local iteration (simulated backend only)
+    #: crash injection, worker id → local iteration.  Simulated backend:
+    #: the worker silently stops producing updates.  Process backend: the
+    #: worker process hard-exits mid-run (no close frame), exercising the
+    #: comm layer's crash path — the run returns a partial result with the
+    #: crash recorded in ``TrainResult.errors``.
     fail_at: "dict[int, int] | None" = None
+    #: threaded backend only: round-trip every frame through the byte codec
+    #: (float32 wire precision), matching what the process backend ships
+    #: over real pipes — at thread speed
+    wire_fidelity: bool = False
     #: per-step telemetry sink, e.g. repro.metrics.RunLogger (simulated only)
     logger: "object | None" = None
     #: repro.obs tracer; None ⇒ the ambient tracer at run time

@@ -344,13 +344,13 @@ def spans_from_trace_events(trace: "Sequence[Any]") -> "list[dict[str, Any]]":
         )
         records.append(
             span_record(
-                "net.upload",
+                "comm.send",
                 event.up_start,
                 event.up_end - event.up_start,
                 lane,
-                cat="net",
+                cat="comm",
                 domain="virtual",
-                args={"worker": wid, "up_bytes": event.up_bytes},
+                args={"worker": wid, "bytes": event.up_bytes},
             )
         )
         records.append(
@@ -366,13 +366,13 @@ def spans_from_trace_events(trace: "Sequence[Any]") -> "list[dict[str, Any]]":
         )
         records.append(
             span_record(
-                "net.download",
+                "comm.recv",
                 event.server_t,
                 event.down_end - event.server_t,
                 lane,
-                cat="net",
+                cat="comm",
                 domain="virtual",
-                args={"worker": wid, "down_bytes": event.down_bytes},
+                args={"worker": wid, "bytes": event.down_bytes},
             )
         )
         prev_down[wid] = event.down_end

@@ -101,11 +101,15 @@ def _patch_compression(patches: _PatchSet) -> None:
 
 def _patch_codec(patches: _PatchSet) -> None:
     from .. import ps as ps_pkg
+    from ..comm import frames as comm_frames
     from ..ps import codec as ps_codec
-    from ..ps import process as ps_process
 
+    # comm.frames holds the only by-name copies of the codec functions now
+    # that the trainers route every exchange through the channel layer.
     for fname in ("encode_message", "decode_message"):
-        patches.patch_everywhere([ps_codec, ps_pkg, ps_process], fname, f"codec.{fname}", "codec")
+        patches.patch_everywhere(
+            [ps_codec, ps_pkg, comm_frames], fname, f"codec.{fname}", "codec"
+        )
 
 
 @contextlib.contextmanager

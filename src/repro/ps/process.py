@@ -3,18 +3,15 @@
 The closest offline stand-in for the paper's multi-machine deployment:
 workers are separate OS processes (true parallel gradient computation, no
 GIL sharing), and every exchange travels as *actual bytes* through an OS
-pipe using the binary wire codec (``repro.ps.codec``) — the same
-``encode()``/``decode()`` path the paper's gloo transport performs.
+pipe speaking the typed frame format of :mod:`repro.comm.frames` — the
+same ``encode()``/``decode()`` path the paper's gloo transport performs.
 
-Frame format on the pipe, upstream (worker → server):
-
-* gradient frame: ``b"G"`` + little-endian ``f64 loss`` + codec message;
-* close frame: ``b"S"`` + little-endian ``i64 samples_processed`` +
-  ``i64 worker_state_bytes`` — the worker's final local accounting, so the
-  unified result can report per-worker fields the parent cannot observe.
-
-Downstream frames are bare codec message bytes.  An empty frame also
-closes a worker (crash path: no final accounting available).
+Workers end their stream with an explicit close frame carrying their final
+local accounting (and an error description if the worker loop raised); a
+pipe that dies *without* one is a crash, which the serving loop
+(:func:`repro.comm.pipe.serve_pipe_channels`) reports as a partial result
+instead of hanging.  ``fail_at`` hard-kills chosen workers mid-run to
+exercise exactly that path.
 
 Notes
 -----
@@ -36,10 +33,9 @@ thin public adapter.
 from __future__ import annotations
 
 import multiprocessing as mp
-import struct
+import os
 import time
-from multiprocessing.connection import Connection, wait
-from typing import Callable
+from typing import Callable, Mapping
 
 from ..core.layerops import parameters_of
 from ..core.methods import Hyper, MethodSpec
@@ -57,21 +53,18 @@ from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_params
 from ..nn.module import Module
 from ..optim.schedules import Schedule
-from .codec import decode_message, encode_message
 
 __all__ = ["ProcessTrainer", "ProcessResult"]
 
 #: deprecated alias — the process engine now returns the unified schema
 ProcessResult = TrainResult
 
-_LOSS = struct.Struct("<d")
-_WORKER_STATS = struct.Struct("<qq")  # samples_processed, worker_state_bytes
-_GRADIENT_FRAME = b"G"
-_CLOSE_FRAME = b"S"
+#: exit code of a hard-crashed (fail_at) worker — never a normal exit
+_CRASH_EXIT_CODE = 17
 
 
 def _worker_main(
-    conn: Connection,
+    conn,
     worker_id: int,
     num_workers: int,
     model_factory: Callable[[], Module],
@@ -83,25 +76,23 @@ def _worker_main(
     hyper: Hyper,
     schedule: Schedule,
     seed: int,
+    fail_at: "int | None",
 ) -> None:
+    from ..comm.pipe import PipeChannel  # lazy: comm imports ps
+    from ..comm.protocol import run_worker_loop
+
     loader = DataLoader(dataset, batch_size, seed=seed)
     node = build_worker(
         worker_id, num_workers, model_factory(), loader, method, hyper, schedule, theta0=theta0
     )
-    try:
-        for _ in range(iterations):
-            msg = node.compute_step()
-            conn.send_bytes(
-                _GRADIENT_FRAME + _LOSS.pack(node.last_loss) + encode_message(msg)
-            )
-            reply = decode_message(conn.recv_bytes())
-            node.apply_reply(reply)
-    finally:
-        conn.send_bytes(
-            _CLOSE_FRAME
-            + _WORKER_STATS.pack(node.samples_processed, node.worker_state_bytes())
-        )
-        conn.close()
+
+    def crash_hook(i: int) -> None:
+        if fail_at is not None and i >= fail_at:
+            # Hard crash: no close frame, no cleanup — the parent must
+            # survive on the EOF it sees when the pipe drops.
+            os._exit(_CRASH_EXIT_CODE)
+
+    run_worker_loop(node, PipeChannel(conn), iterations, on_iteration=crash_hook)
 
 
 class ProcessTrainer:
@@ -120,6 +111,7 @@ class ProcessTrainer:
         secondary_compression: bool | None = None,
         staleness_damping: bool = False,
         seed: int = 0,
+        fail_at: "Mapping[int, int] | None" = None,
     ) -> None:
         self.method = resolve_method(method)
         self.hyper = resolve_hyper(hyper)
@@ -130,6 +122,8 @@ class ProcessTrainer:
         self.batch_size = batch_size
         self.iterations_per_worker = iterations_per_worker
         self.seed = seed
+        #: worker id → local iteration at which that worker hard-crashes
+        self.fail_at = dict(fail_at) if fail_at else {}
 
         self.eval_model = model_factory()
         self.theta0 = parameters_of(self.eval_model)
@@ -143,10 +137,13 @@ class ProcessTrainer:
         )
 
     def run(self) -> TrainResult:
+        from ..comm.channel import ServerService  # lazy: comm imports ps
+        from ..comm.pipe import PipeChannel, serve_pipe_channels
+
         t_start = time.perf_counter()
         ctx = mp.get_context("fork")
-        conns: list[Connection] = []
-        procs: list[mp.Process] = []
+        channels: "list[PipeChannel]" = []
+        procs: "list[mp.Process]" = []
         for w in range(self.num_workers):
             parent, child = ctx.Pipe()
             proc = ctx.Process(
@@ -164,42 +161,23 @@ class ProcessTrainer:
                     self.hyper,
                     self.schedule,
                     self.seed,
+                    self.fail_at.get(w),
                 ),
                 daemon=True,
             )
             proc.start()
             child.close()
-            conns.append(parent)
+            channels.append(PipeChannel(parent))
             procs.append(proc)
 
         loss_curve = Curve("loss_vs_server_step")
-        wire_up = wire_down = 0
-        samples = worker_state = 0
-        open_conns = {id(c): c for c in conns}
         try:
-            while open_conns:
-                for conn in wait(list(open_conns.values())):
-                    try:
-                        raw = conn.recv_bytes()
-                    except EOFError:
-                        open_conns.pop(id(conn), None)
-                        continue
-                    kind = raw[:1]
-                    if kind != _GRADIENT_FRAME:  # close frame (or crash: empty)
-                        if kind == _CLOSE_FRAME:
-                            w_samples, w_state = _WORKER_STATS.unpack_from(raw, 1)
-                            samples += w_samples
-                            worker_state += w_state
-                        open_conns.pop(id(conn), None)
-                        continue
-                    (loss,) = _LOSS.unpack_from(raw, 1)
-                    msg = decode_message(memoryview(raw)[1 + _LOSS.size :])
-                    wire_up += len(raw) - 1 - _LOSS.size
-                    reply = self.server.handle(msg)
-                    out = encode_message(reply)
-                    wire_down += len(out)
-                    conn.send_bytes(out)
-                    loss_curve.add(len(loss_curve) + 1, loss)
+            report = serve_pipe_channels(
+                channels,
+                ServerService(self.server),
+                stats=self.server.stats,
+                on_loss=lambda loss: loss_curve.add(len(loss_curve) + 1, loss),
+            )
         finally:
             for proc in procs:
                 proc.join(timeout=30)
@@ -220,16 +198,17 @@ class ProcessTrainer:
             final_loss=loss,
             loss_vs_step=loss_curve,
             total_iterations=self.server.timestamp,
-            samples_processed=samples,
+            samples_processed=report.samples_processed,
             mean_staleness=self.server.staleness_meter.avg,
             upload_bytes=stats.upload_bytes,
             download_bytes=stats.download_bytes,
             upload_dense_bytes=stats.upload_dense_bytes,
             download_dense_bytes=stats.download_dense_bytes,
-            wire_bytes_up=wire_up,
-            wire_bytes_down=wire_down,
+            wire_bytes_up=sum(ch.wire_bytes_received for ch in channels),
+            wire_bytes_down=sum(ch.wire_bytes_sent for ch in channels),
             makespan_s=elapsed,
             clock="wall",
             server_state_bytes=self.server.server_state_bytes(),
-            worker_state_bytes=worker_state,
+            worker_state_bytes=report.worker_state_bytes,
+            errors=list(report.errors),
         )

@@ -23,27 +23,13 @@ import numpy as np
 from ..compression.base import Sparsifier
 from ..compression.stats import CompressionStats
 from ..compression.topk import TopKSparsifier
+from ..core.layerops import scale_payload
 from ..core.tracker import ModelDifferenceTracker
 from ..metrics.meters import AverageMeter
 from ..obs.tracer import current_tracer
 from .messages import DiffMessage, GradientMessage, ModelMessage
 
 __all__ = ["ParameterServer"]
-
-
-def _scale_payload(payload, factor: float):
-    """Scale a per-layer update by ``factor`` without mutating the original."""
-    from ..compression.coding import SparseTensor
-
-    out = OrderedDict()
-    for name, layer in payload.items():
-        if isinstance(layer, SparseTensor):
-            out[name] = SparseTensor(layer.indices, layer.values * factor, layer.shape)
-        elif isinstance(layer, np.ndarray):
-            out[name] = layer * factor
-        else:  # quantised payloads: materialise and scale
-            out[name] = layer.to_dense() * factor
-    return out
 
 
 class ParameterServer:
@@ -74,6 +60,9 @@ class ParameterServer:
             secondary=secondary,
             track_differences=(downstream == "difference"),
         )
+        #: byte-accounting sink — *recorded into by the comm channel layer*
+        #: (the server applies updates; what they cost on the wire is the
+        #: transport's knowledge), read back by every TrainResult.
         self.stats = CompressionStats()
         self.staleness_meter = AverageMeter("staleness")
         #: contention telemetry: how long handle() waited for the lock vs
@@ -97,9 +86,8 @@ class ParameterServer:
             self.staleness_meter.update(staleness)
             payload = msg.payload
             if self.staleness_damping and staleness > 0:
-                payload = _scale_payload(payload, 1.0 / (staleness + 1))
+                payload = scale_payload(payload, 1.0 / (staleness + 1))
             t = self.tracker.apply_update(payload)
-            self.stats.record_upload(msg.nbytes(), msg.dense_nbytes())
 
             if self.downstream == "difference":
                 diff = self.tracker.model_difference(msg.worker_id)
@@ -111,7 +99,6 @@ class ParameterServer:
                 # ASGD still advances prev(k): the worker now holds θ_t.
                 self.tracker.prev[msg.worker_id] = t
                 reply = ModelMessage(msg.worker_id, model, t, staleness)
-            self.stats.record_download(reply.nbytes(), reply.dense_nbytes())
             t_done = time.perf_counter()
             wait = t_acquired - t_request
             self.lock_wait_meter.update(wait)

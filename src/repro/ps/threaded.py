@@ -59,6 +59,7 @@ class ThreadedTrainer:
         staleness_damping: bool = False,
         seed: int = 0,
         tracer: "Tracer | NullTracer | None" = None,
+        wire_fidelity: bool = False,
     ) -> None:
         self.method = resolve_method(method)
         self.hyper = resolve_hyper(hyper)
@@ -87,35 +88,54 @@ class ThreadedTrainer:
         self._errors: list[BaseException] = []
         #: explicit tracer; None ⇒ the ambient repro.obs tracer at run time
         self.tracer = tracer
+        #: round-trip every frame through the byte codec (float32 wire)
+        self.wire_fidelity = wire_fidelity
 
     # ------------------------------------------------------------------
-    def _worker_loop(self, node: WorkerNode) -> None:
+    def _record_loss(self, node: WorkerNode) -> None:
+        with self._loss_lock:
+            # Server timestamps are unique but arrive out of order across
+            # threads; record against a local monotone index.
+            step = len(self.loss_curve) + 1
+            self.loss_curve.add(step, node.last_loss)
+
+    def _worker_loop(self, node: WorkerNode, channel) -> None:
         # Each OS thread emits into its own Tracer buffer (lock-free);
         # buffers are merged after join() via Tracer.records().
+        from ..comm.protocol import run_worker_loop  # lazy: comm imports ps
+
         tracer = self.tracer if self.tracer is not None else current_tracer()
         try:
-            for i in range(self.iterations_per_worker):
-                with tracer.span(
-                    "worker.step", cat="worker", worker=node.worker_id, iteration=i
-                ):
-                    with tracer.span("worker.compute", cat="worker", worker=node.worker_id):
-                        msg = node.compute_step()
-                    reply = self.server.handle(msg)
-                    with tracer.span("worker.apply", cat="worker", worker=node.worker_id):
-                        node.apply_reply(reply)
-                with self._loss_lock:
-                    # Server timestamps are unique but arrive out of order
-                    # across threads; record against a local monotone index.
-                    step = len(self.loss_curve) + 1
-                    self.loss_curve.add(step, node.last_loss)
+            run_worker_loop(
+                node,
+                channel,
+                self.iterations_per_worker,
+                tracer=tracer,
+                on_step=self._record_loss,
+            )
         except BaseException as exc:  # surface worker crashes to the caller
             self._errors.append(exc)
 
     def run(self) -> TrainResult:
+        from ..comm.channel import InProcChannel, ServerService  # lazy: comm imports ps
+
+        service = ServerService(self.server)
+        channels = [
+            InProcChannel(
+                service,
+                node.worker_id,
+                stats=self.server.stats,
+                wire_fidelity=self.wire_fidelity,
+                tracer=self.tracer,
+            )
+            for node in self.workers
+        ]
         t_start = time.perf_counter()
         threads = [
-            threading.Thread(target=self._worker_loop, args=(node,), name=f"worker-{node.worker_id}")
-            for node in self.workers
+            threading.Thread(
+                target=self._worker_loop, args=(node, ch), name=f"worker-{node.worker_id}"
+            )
+            for node, ch in zip(self.workers, channels)
         ]
         for t in threads:
             t.start()
@@ -129,6 +149,7 @@ class ThreadedTrainer:
         # statistics reflect actual training data.
         acc, loss = evaluate_global(self.workers[0].model, self.server, self.dataset)
         stats = self.server.stats
+        closes = [ch.close_frame for ch in channels if ch.close_frame is not None]
         return TrainResult(
             method=self.method.name,
             backend="threaded",
@@ -137,7 +158,9 @@ class ThreadedTrainer:
             final_loss=loss,
             loss_vs_step=self.loss_curve,
             total_iterations=self.server.timestamp,
-            samples_processed=sum(n.samples_processed for n in self.workers),
+            # Final accounting travels on the workers' close frames, the
+            # same way it reaches the server on every other backend.
+            samples_processed=sum(c.samples_processed or 0 for c in closes),
             mean_staleness=self.server.staleness_meter.avg,
             upload_bytes=stats.upload_bytes,
             download_bytes=stats.download_bytes,
@@ -146,5 +169,5 @@ class ThreadedTrainer:
             makespan_s=elapsed,
             clock="wall",
             server_state_bytes=self.server.server_state_bytes(),
-            worker_state_bytes=sum(n.worker_state_bytes() for n in self.workers),
+            worker_state_bytes=sum(c.worker_state_bytes or 0 for c in closes),
         )

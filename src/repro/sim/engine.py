@@ -160,12 +160,31 @@ class SimulatedTrainer:
             heapq.heappush(heap, (t0, seq, node.worker_id))
             seq += 1
 
-        server_free = 0.0
         makespan = 0.0
         applied = 0
         trace: "list[TraceEvent] | None" = [] if self.record_trace else None
         tracer = self.tracer if self.tracer is not None else current_tracer()
         emit_spans = tracer.enabled
+        # All exchanges route through the comm layer: the transport owns the
+        # shared link pair, the wire scaling, the byte accounting and the
+        # comm.send / server.handle / comm.recv virtual spans.
+        from ..comm.channel import ServerService  # lazy: comm imports ps
+        from ..comm.frames import GradientFrame
+        from ..comm.sim import SimChannel, SimTransport
+
+        transport = SimTransport(
+            self.uplink,
+            self.downlink,
+            wire_scale=cluster.wire_scale,
+            server_overhead_s=cluster.server_overhead_s,
+            stats=self.server.stats,
+            tracer=tracer,
+        )
+        service = ServerService(self.server)
+        channels = {
+            node.worker_id: SimChannel(transport, service, node.worker_id)
+            for node in self.workers
+        }
         compute_start = {node.worker_id: 0.0 for node in self.workers}
         while heap and applied < self.total_iterations:
             ready_t, _, wid = heapq.heappop(heap)
@@ -174,16 +193,10 @@ class SimulatedTrainer:
                 continue  # injected crash: the in-flight update is lost
 
             msg = node.compute_step()
-            up_bytes = msg.nbytes()
-            wire = cluster.wire_scale
-            start_up, end_up = self.uplink.reserve(ready_t, int(up_bytes * wire))
-            s_start = max(end_up, server_free)
-            s_end = s_start + cluster.server_overhead_s
-            server_free = s_end
-
-            reply = self.server.handle(msg)
-            down_bytes = reply.nbytes()
-            _, end_down = self.downlink.reserve(s_end, int(down_bytes * wire))
+            reply_frame, transfer = channels[wid].exchange(
+                ready_t, GradientFrame(msg, node.last_loss)
+            )
+            reply = reply_frame.message
             node.apply_reply(reply)
             if trace is not None:
                 trace.append(
@@ -191,81 +204,48 @@ class SimulatedTrainer:
                         worker=wid,
                         local_iteration=node.iteration - 1,
                         ready_t=ready_t,
-                        up_start=start_up,
-                        up_end=end_up,
-                        server_t=s_end,
-                        down_end=end_down,
+                        up_start=transfer.up_start,
+                        up_end=transfer.up_end,
+                        server_t=transfer.server_end,
+                        down_end=transfer.down_end,
                         staleness=reply.staleness,
-                        up_bytes=up_bytes,
-                        down_bytes=down_bytes,
+                        up_bytes=transfer.up_bytes,
+                        down_bytes=transfer.down_bytes,
                     )
                 )
             if emit_spans:
-                lane = f"worker-{wid}"
                 tracer.add_span(
                     "worker.compute",
                     compute_start[wid],
                     ready_t,
-                    tid=lane,
+                    tid=f"worker-{wid}",
                     cat="worker",
                     domain="virtual",
                     args={"worker": wid, "iteration": node.iteration - 1},
                 )
-                tracer.add_span(
-                    "net.upload",
-                    start_up,
-                    end_up,
-                    tid=lane,
-                    cat="net",
-                    domain="virtual",
-                    args={"worker": wid, "up_bytes": up_bytes},
-                )
-                tracer.add_span(
-                    "server.handle",
-                    s_start,
-                    s_end,
-                    tid="server",
-                    cat="server",
-                    domain="virtual",
-                    args={
-                        "worker": wid,
-                        "staleness": reply.staleness,
-                        "up_bytes": up_bytes,
-                        "down_bytes": down_bytes,
-                    },
-                )
-                tracer.add_span(
-                    "net.download",
-                    s_end,
-                    end_down,
-                    tid=lane,
-                    cat="net",
-                    domain="virtual",
-                    args={"worker": wid, "down_bytes": down_bytes},
-                )
-            compute_start[wid] = end_down
+            compute_start[wid] = transfer.down_end
 
             applied += 1
-            makespan = s_end
+            makespan = transfer.server_end
             smoothed = loss_ema.update(node.last_loss)
             loss_vs_step.add(applied, smoothed)
-            loss_vs_time.add(s_end, smoothed)
+            loss_vs_time.add(transfer.server_end, smoothed)
             if self.logger is not None:
                 self.logger.log_step(
                     applied,
                     node.last_loss,
-                    time_s=s_end,
+                    time_s=transfer.server_end,
                     worker=wid,
                     staleness=reply.staleness,
-                    up_bytes=up_bytes,
-                    down_bytes=down_bytes,
+                    up_bytes=transfer.up_bytes,
+                    down_bytes=transfer.down_bytes,
                 )
             if self.eval_every is not None and applied % self.eval_every == 0:
                 acc, _ = self._evaluate_global()
                 acc_vs_step.add(applied, acc)
 
             if applied + len(heap) < self.total_iterations:
-                next_ready = end_down + compute.sample(self._rng, self._speed[wid])
+                next_ready = transfer.down_end + compute.sample(self._rng, self._speed[wid])
                 heapq.heappush(heap, (next_ready, seq, wid))
                 seq += 1
 

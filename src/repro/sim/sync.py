@@ -28,6 +28,7 @@ from typing import Callable
 import numpy as np
 
 from ..compression.coding import SparseTensor
+from ..compression.stats import CompressionStats
 from ..core.layerops import add_payload, parameters_of
 from ..core.methods import Hyper, MethodSpec
 from ..data.loader import DataLoader
@@ -39,7 +40,7 @@ from ..metrics.evaluation import evaluate_model
 from ..metrics.meters import EMAMeter
 from ..nn.module import Module
 from ..optim.schedules import Schedule
-from ..ps.messages import payload_dense_nbytes
+from ..ps.messages import ModelMessage
 from ..ps.worker import WorkerNode
 from .cluster import ClusterConfig
 from .network import SharedLink
@@ -100,16 +101,24 @@ class SynchronousTrainer:
     def run(self) -> TrainResult:
         cluster = self.cluster
         n = cluster.num_workers
-        wire = cluster.wire_scale
         loss_vs_step = Curve("loss_vs_step")
         loss_vs_time = Curve("loss_vs_time")
         ema = EMAMeter(beta=0.9)
 
+        # SSGD has no parameter server, so the transport gets its own byte
+        # sink — frames still flow through the same comm layer as the
+        # asynchronous backends, so the accounting means the same thing.
+        from ..comm.frames import GradientFrame, ModelFrame  # lazy: comm imports ps
+        from ..comm.sim import SimTransport
+
+        transport = SimTransport(
+            self.uplink,
+            self.downlink,
+            wire_scale=cluster.wire_scale,
+            stats=CompressionStats(),
+        )
         clock = 0.0
         straggler_lost = 0.0
-        upload_bytes = 0
-        upload_dense_bytes = 0
-        download_bytes = 0
         samples = 0
 
         for rnd in range(1, self.rounds + 1):
@@ -127,10 +136,10 @@ class SynchronousTrainer:
 
             # 3) Serialised uploads through the shared link.
             t = compute_end
-            for msg in msgs:
-                _, t = self.uplink.reserve(t, int(msg.nbytes() * wire))
-                upload_bytes += msg.nbytes()
-                upload_dense_bytes += payload_dense_nbytes(msg.payload)
+            for node, msg in zip(self.workers, msgs):
+                _, t = transport.send_frame(
+                    t, GradientFrame(msg, node.last_loss), worker=msg.worker_id
+                )
             t += cluster.server_overhead_s
 
             # 4) Aggregate and apply to the global model.  Eq. (7) SUMS the
@@ -152,10 +161,10 @@ class SynchronousTrainer:
             add_payload(self._params, agg, scale=-1.0)
 
             # 5) Broadcast the dense aggregated update, one transfer/worker.
-            bcast_bytes = payload_dense_nbytes(agg)
-            for _ in range(n):
-                _, t = self.downlink.reserve(t, int(bcast_bytes * wire))
-                download_bytes += bcast_bytes
+            for w in range(n):
+                _, t = transport.recv_frame(
+                    t, ModelFrame(ModelMessage(w, agg, rnd, 0)), worker=w
+                )
 
             clock = t
             smoothed = ema.update(mean_loss)
@@ -179,10 +188,10 @@ class SynchronousTrainer:
             total_iterations=self.rounds * n,
             samples_processed=samples,
             mean_staleness=0.0,  # the barrier makes every gradient current
-            upload_bytes=upload_bytes,
-            download_bytes=download_bytes,
-            upload_dense_bytes=upload_dense_bytes,
-            download_dense_bytes=download_bytes,  # broadcast is already dense
+            upload_bytes=transport.stats.upload_bytes,
+            download_bytes=transport.stats.download_bytes,
+            upload_dense_bytes=transport.stats.upload_dense_bytes,
+            download_dense_bytes=transport.stats.download_dense_bytes,
             uplink_utilisation=self.uplink.utilisation(clock),
             downlink_utilisation=self.downlink.utilisation(clock),
             worker_state_bytes=sum(node.worker_state_bytes() for node in self.workers),

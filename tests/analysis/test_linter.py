@@ -66,6 +66,44 @@ class TestGoodFixture:
         assert "# repro: noqa TEN001" in source
 
 
+class TestCommFixture:
+    def test_exact_finding_counts(self):
+        counts = Counter(f.rule for f in lint_fixture("bad_comm.py"))
+        assert counts == {"COM001": 5}
+
+    def test_messages_point_at_the_channel_layer(self):
+        messages = [f.message for f in lint_fixture("bad_comm.py")]
+        assert any("'struct'" in m for m in messages)
+        assert any("'multiprocessing.connection'" in m for m in messages)
+        assert any("'encode_message'" in m and "Channel" in m for m in messages)
+        assert any("'decode_message'" in m for m in messages)
+
+    def test_silent_inside_the_channel_layer(self):
+        allowed = LintConfig(
+            hot_path_prefixes=("",), tensor_mutation_allowed=(), framing_allowed=("",)
+        )
+        findings = lint_file(
+            FIXTURES / "bad_comm.py", default_rules(), config=allowed, root=FIXTURES
+        )
+        assert not [f for f in findings if f.rule == "COM001"]
+
+    def test_relative_codec_reexport_not_flagged(self):
+        # ps/__init__.py re-exports the codec names via `from .codec import …`;
+        # COM001 targets framing, not re-exports
+        src = "from .codec import encode_message\n__all__ = ['encode_message']\n"
+        path = FIXTURES / "bad_comm.py"  # any path outside framing_allowed
+        import ast
+
+        from repro.analysis.linter import ModuleInfo
+        from repro.analysis.rules.comm import WireFramingRule
+
+        module = ModuleInfo(
+            path=str(path), relpath="ps/__init__.py", source=src,
+            tree=ast.parse(src), lines=src.splitlines(),
+        )
+        assert list(WireFramingRule().check(module, LintConfig())) == []
+
+
 class TestSuppressionSyntax:
     def test_bare_noqa_suppresses_all(self):
         assert suppressed_rules("x = 1  # repro: noqa") == set()
@@ -102,6 +140,7 @@ def test_rule_index_is_complete():
         "EXP003",
         "DTY001",
         "TEN001",
+        "COM001",
     }
     for rule_id, cls in idx.items():
         assert cls.id == rule_id

@@ -1,0 +1,44 @@
+"""Process backend crash handling: a dying worker yields a partial result."""
+
+from __future__ import annotations
+
+from repro.core import Hyper
+from repro.ps.process import ProcessTrainer
+
+HYPER = Hyper(lr=0.1, momentum=0.7, ratio=0.2, min_sparse_size=0)
+
+
+def make_trainer(dataset, model_factory, fail_at=None, iters=6):
+    return ProcessTrainer(
+        "dgs",
+        model_factory,
+        dataset,
+        num_workers=2,
+        batch_size=16,
+        iterations_per_worker=iters,
+        hyper=HYPER,
+        seed=0,
+        fail_at=fail_at,
+    )
+
+
+def test_worker_hard_crash_yields_partial_result(tiny_dataset, tiny_model_factory):
+    """A worker hard-killed mid-run (no close frame) must not hang the run."""
+    trainer = make_trainer(tiny_dataset, tiny_model_factory, fail_at={1: 2})
+    result = trainer.run()
+    assert result.errors, "the crash must surface in TrainResult.errors"
+    assert any("without a close frame" in e for e in result.errors)
+    # the survivor finished: more steps than the crashed worker managed,
+    # fewer than a clean two-worker run
+    assert 6 <= result.total_iterations < 12
+    # accounting comes from the surviving worker's close frame only
+    assert result.samples_processed == 6 * 16
+    assert 0.0 <= result.final_accuracy <= 1.0
+
+
+def test_clean_run_reports_no_errors(tiny_dataset, tiny_model_factory):
+    trainer = make_trainer(tiny_dataset, tiny_model_factory, iters=4)
+    result = trainer.run()
+    assert result.errors == []
+    assert result.total_iterations == 2 * 4
+    assert result.samples_processed == 2 * 4 * 16

@@ -142,6 +142,33 @@ class TestCrossBackendParity:
             np.testing.assert_allclose(p_params[name], s_params[name], rtol=1e-4, atol=1e-5)
         assert p_res.total_iterations == 30
 
+    def test_byte_accounting_identical_across_backends(self, ds, factory):
+        """The channel layer accounts analytic payload bytes on every
+        substrate, so an identical dense-ASGD config must report identical
+        byte totals whether frames crossed a thread boundary, an OS pipe,
+        or a simulated link."""
+        totals = {}
+        for backend in ("threaded", "process", "simulated"):
+            config = RunConfig(
+                "asgd",
+                factory,
+                ds,
+                num_workers=2,
+                batch_size=16,
+                total_iterations=24,
+                hyper=DENSE_HYPER,
+                seed=0,
+            )
+            result = Trainer(config, backend=backend).run()
+            totals[backend] = (
+                result.upload_bytes,
+                result.download_bytes,
+                result.upload_dense_bytes,
+                result.download_dense_bytes,
+            )
+        assert totals["threaded"] == totals["process"] == totals["simulated"]
+        assert all(v > 0 for v in totals["threaded"])
+
     def test_every_registered_backend_returns_valid_unified_result(self, ds, factory):
         config = RunConfig(
             "dgs",

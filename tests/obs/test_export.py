@@ -24,8 +24,8 @@ def _sample_records():
         span_record("worker.step", 0.0, 1.0, "worker-0", cat="worker", domain="wall",
                     args={"worker": 0}),
         span_record("worker.compute", 0.1, 0.5, "worker-0", cat="worker", domain="wall"),
-        span_record("net.upload", 0.0, 0.2, "worker-0", cat="net", domain="virtual",
-                    args={"up_bytes": 128}),
+        span_record("comm.send", 0.0, 0.2, "worker-0", cat="comm", domain="virtual",
+                    args={"bytes": 128}),
         span_record("server.handle", 0.2, 0.1, "server", cat="server", domain="virtual",
                     args={"down_bytes": 64}),
     ]
@@ -57,7 +57,7 @@ class TestChromeTrace:
         trace = to_chrome_trace(_sample_records())
         events = trace["traceEvents"]
         wall = next(e for e in events if e["name"] == "worker.step")
-        virt = next(e for e in events if e["name"] == "net.upload")
+        virt = next(e for e in events if e["name"] == "comm.send")
         assert wall["pid"] == 0 and virt["pid"] == 1
         names = {
             e["pid"]: e["args"]["name"]
@@ -92,7 +92,7 @@ class TestSummaries:
         rows = summarize(_sample_records())
         by_key = {(r["domain"], r["phase"]): r for r in rows}
         assert by_key[("wall", "worker")]["count"] == 2
-        assert by_key[("virtual", "net")]["bytes"] == 128
+        assert by_key[("virtual", "comm")]["bytes"] == 128
         assert by_key[("virtual", "server")]["bytes"] == 64
         virt_share = sum(r["share"] for r in rows if r["domain"] == "virtual")
         assert abs(virt_share - 1.0) < 1e-9
@@ -152,8 +152,8 @@ class TestAdapters:
         records = spans_from_trace_events(result.trace)
         assert check_stream(records) == []
         names = {r["name"] for r in records}
-        assert names == {"worker.compute", "net.upload", "server.handle", "net.download"}
-        up = sum(r["args"]["up_bytes"] for r in records if r["name"] == "net.upload")
+        assert names == {"worker.compute", "comm.send", "server.handle", "comm.recv"}
+        up = sum(r["args"]["bytes"] for r in records if r["name"] == "comm.send")
         assert up == sum(e.up_bytes for e in result.trace)
 
     def test_check_stream_catches_schema_violation(self):

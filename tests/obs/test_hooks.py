@@ -28,10 +28,10 @@ def test_all_namespaces_patched_and_restored():
     import repro.compression as comp_pkg
     import repro.compression.coding as comp_coding
     import repro.core.strategies as core_strategies
+    import repro.comm.frames as comm_frames
     import repro.nn.conv as nn_conv
     import repro.ps as ps_pkg
     import repro.ps.codec as ps_codec
-    import repro.ps.process as ps_process
 
     originals = {
         "conv2d": ag_ops.conv2d,
@@ -42,7 +42,7 @@ def test_all_namespaces_patched_and_restored():
         assert ag_ops.conv2d is ag_pkg.conv2d is nn_conv.conv2d
         assert ag_ops.conv2d is not originals["conv2d"]
         assert comp_coding.encode_mask is comp_pkg.encode_mask is core_strategies.encode_mask
-        assert ps_codec.encode_message is ps_pkg.encode_message is ps_process.encode_message
+        assert ps_codec.encode_message is ps_pkg.encode_message is comm_frames.encode_message
     assert ag_ops.conv2d is ag_pkg.conv2d is nn_conv.conv2d is originals["conv2d"]
     assert comp_coding.encode_mask is originals["encode_mask"]
     assert ps_codec.encode_message is originals["encode_message"]

@@ -133,14 +133,14 @@ class TestSimWiring:
         tracer, _, _ = sim_run
         virt = [r for r in tracer.records() if r["domain"] == "virtual"]
         names = {r["name"] for r in virt}
-        assert {"worker.compute", "net.upload", "server.handle", "net.download"} <= names
+        assert {"worker.compute", "comm.send", "server.handle", "comm.recv"} <= names
 
     def test_virtual_bytes_match_result(self, sim_run):
         tracer, _, result = sim_run
         virt = [r for r in tracer.records() if r["domain"] == "virtual"]
-        up = sum(r["args"].get("up_bytes", 0) for r in virt if r["name"] == "net.upload")
+        up = sum(r["args"].get("bytes", 0) for r in virt if r["name"] == "comm.send")
         down = sum(
-            r["args"].get("down_bytes", 0) for r in virt if r["name"] == "net.download"
+            r["args"].get("bytes", 0) for r in virt if r["name"] == "comm.recv"
         )
         assert up == result.upload_bytes
         assert down == result.download_bytes

@@ -6,10 +6,22 @@ from collections import OrderedDict
 import numpy as np
 import pytest
 
+from repro.comm import GradientFrame, InProcChannel, ServerService
 from repro.compression import encode_sparse
 from repro.ps import DiffMessage, GradientMessage, ModelMessage, ParameterServer
 
 SHAPES = OrderedDict([("w", (30,)), ("b", (6,))])
+
+
+def exchange(srv, msg):
+    """One worker↔server round-trip through the comm layer.
+
+    Byte accounting lives in the channel (not in ``handle``), so tests that
+    assert ``srv.stats`` must route messages the way trainers do.
+    """
+    channel = InProcChannel(ServerService(srv), msg.worker_id, stats=srv.stats)
+    channel.send(GradientFrame(msg, loss=0.0))
+    return channel.recv().message
 
 
 def theta0(rng):
@@ -46,10 +58,17 @@ class TestDifferenceMode:
 
     def test_stats_accumulate(self, rng):
         srv = ParameterServer(theta0(rng), 1, downstream="difference")
-        srv.handle(grad_msg(rng))
+        exchange(srv, grad_msg(rng))
         assert srv.stats.upload_messages == 1
         assert srv.stats.download_messages == 1
         assert srv.stats.upload_bytes > 0
+
+    def test_handle_does_not_account_bytes(self, rng):
+        """Accounting is the channel's job: a direct handle() records nothing."""
+        srv = ParameterServer(theta0(rng), 1, downstream="difference")
+        srv.handle(grad_msg(rng))
+        assert srv.stats.upload_messages == 0
+        assert srv.stats.download_messages == 0
 
     def test_secondary_ratio_shrinks_download(self, rng):
         dense_srv = ParameterServer(theta0(rng), 1, downstream="difference")
@@ -60,8 +79,8 @@ class TestDifferenceMode:
         # several updates so the difference becomes dense-ish
         for _ in range(8):
             m = grad_msg(rng, scale=2.0)
-            dense_srv.handle(m)
-            sparse_srv.handle(GradientMessage(0, m.payload, 0))
+            exchange(dense_srv, m)
+            exchange(sparse_srv, GradientMessage(0, m.payload, 0))
         assert sparse_srv.stats.download_bytes < dense_srv.stats.download_bytes
 
 
@@ -78,7 +97,7 @@ class TestModelMode:
 
     def test_download_bytes_are_dense(self, rng):
         srv = ParameterServer(theta0(rng), 1, downstream="model")
-        srv.handle(grad_msg(rng))
+        exchange(srv, grad_msg(rng))
         assert srv.stats.download_bytes == srv.stats.download_dense_bytes
 
     def test_invalid_downstream(self, rng):

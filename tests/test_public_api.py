@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.compression",
     "repro.core",
     "repro.exec",
+    "repro.comm",
     "repro.ps",
     "repro.sim",
     "repro.metrics",
