@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench-smoke trace-smoke backend-matrix comm-smoke
+.PHONY: lint test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke
 
 ## Static analysis: AST lint + lock discipline + sanitizer self-check.
 lint:
@@ -14,6 +14,13 @@ test:
 ## Quarter-scale pass over every paper table/figure (~2 min).
 bench-smoke:
 	REPRO_SCALE=fast $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## Hot-path kernel regression gate: measured speedup ratios must stay
+## within 1.3x of the committed benchmarks/BENCH_kernels.json baseline.
+## Re-baseline after an intentional perf change with:
+##   python benchmarks/check_regression.py --update
+bench-kernels:
+	$(PYTHON) benchmarks/check_regression.py
 
 ## One tiny workload on every registered execution backend; each result
 ## is validated against the unified TrainResult schema and must learn.

@@ -2,7 +2,10 @@
 
 These are the per-iteration costs every experiment pays: top-k selection
 (exact vs the sampled adaptive variant), COO encoding, SAMomentum's
-prepare step, conv2d forward+backward, and one simulator exchange.
+prepare step, conv2d forward+backward, and one simulator exchange.  Each
+selection/encode/strategy kernel appears twice — the dict-of-float64
+reference path and the arena/workspace path — mirroring the pairs that
+``check_regression.py`` gates against ``BENCH_kernels.json``.
 """
 
 from collections import OrderedDict
@@ -13,11 +16,15 @@ import pytest
 from repro.autograd import Tensor, conv2d
 from repro.compression import (
     AdaptiveThresholdSparsifier,
+    KernelWorkspace,
     TopKSparsifier,
+    encode_indices,
     encode_mask,
     topk_mask,
+    topk_select,
 )
 from repro.core import Hyper
+from repro.core.arena import LayerArena
 from repro.core.strategies import SAMomentumStrategy
 
 N = 1_000_000  # ~ one large conv layer of ResNet-18
@@ -39,9 +46,27 @@ class TestSelectionKernels:
         mask = benchmark(sp.mask, big_layer)
         assert 0 < mask.sum() < N // 10
 
+    def test_exact_topk_1pct_workspace(self, benchmark, big_layer):
+        ws = KernelWorkspace()
+        mask = benchmark(topk_mask, big_layer, 0.01, ws)
+        assert mask.sum() == N // 100
+
+    def test_topk_select_fused(self, benchmark, big_layer):
+        """Fused select-and-extract: argpartition straight to SparseTensor."""
+        ws = KernelWorkspace()
+        st = benchmark(topk_select, big_layer, 0.01, ws)
+        assert st.nnz == N // 100
+
     def test_coo_encode(self, benchmark, big_layer):
         mask = topk_mask(big_layer, 0.01)
         st = benchmark(encode_mask, big_layer, mask)
+        assert st.nnz == N // 100
+
+    def test_coo_encode_from_indices(self, benchmark, big_layer):
+        """O(k) gather from known sorted indices vs O(n) mask scan above."""
+        ws = KernelWorkspace()
+        idx = np.flatnonzero(topk_mask(big_layer, 0.01))
+        st = benchmark(encode_indices, big_layer, idx, ws, assume_sorted=True)
         assert st.nnz == N // 100
 
 
@@ -52,6 +77,53 @@ class TestStrategyKernels:
         grads = OrderedDict([("w", big_layer)])
         out = benchmark(strat.prepare, grads, 0.1)
         assert out["w"].nnz == N // 100
+
+    def test_samomentum_prepare_arena(self, benchmark, big_layer):
+        shapes = OrderedDict([("w", (N,))])
+        strat = SAMomentumStrategy(
+            shapes, TopKSparsifier(0.01, min_sparse_size=0), 0.7, arena=True
+        )
+        grads = OrderedDict([("w", big_layer)])
+        out = benchmark(strat.prepare, grads, 0.1)
+        assert out["w"].nnz == N // 100
+
+
+class TestArenaKernels:
+    """Server-side payload application: dict loop vs one fused flat op."""
+
+    LAYERS = 48
+
+    def _shapes(self):
+        per = N // (2 * self.LAYERS)
+        shapes = OrderedDict(
+            (f"layer{i:02d}", (per if i % 2 == 0 else per // 2,))
+            for i in range(self.LAYERS - 1)
+        )
+        used = sum(s[0] for s in shapes.values())
+        shapes["layer_final"] = (N - used,)
+        return shapes
+
+    def test_payload_apply_dict(self, benchmark):
+        rng = np.random.default_rng(0)
+        shapes = self._shapes()
+        m = OrderedDict((name, np.zeros(s)) for name, s in shapes.items())
+        upd = OrderedDict((name, rng.normal(size=s)) for name, s in shapes.items())
+
+        def apply_dict():
+            for name, g in upd.items():
+                m[name] -= g
+
+        benchmark(apply_dict)
+
+    def test_payload_apply_arena(self, benchmark):
+        rng = np.random.default_rng(0)
+        shapes = self._shapes()
+        m = LayerArena(shapes, dtype=np.float32)
+        upd = LayerArena.from_layers(
+            OrderedDict((name, rng.normal(size=s)) for name, s in shapes.items()),
+            dtype=np.float32,
+        )
+        benchmark(m.add_payload, upd, -1.0)
 
 
 class TestSubstrateKernels:

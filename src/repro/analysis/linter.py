@@ -38,6 +38,12 @@ TENSOR_MUTATION_ALLOWED = ("autograd/", "optim/")
 #: the only places allowed to do wire framing (struct, pipes, codec calls)
 FRAMING_ALLOWED = ("comm/", "ps/codec.py")
 
+#: subpackages where per-layer Python loops over whole-model state are banned
+PERF_LOOP_PREFIXES = ("core/", "ps/", "exec/")
+
+#: the dict-of-float64 reference path — allowed to stay naive (PERF001)
+PERF_LOOP_ALLOWED = ("core/layerops.py",)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -50,6 +56,8 @@ class LintConfig:
     hot_path_prefixes: "tuple[str, ...]" = HOT_PATH_PREFIXES
     tensor_mutation_allowed: "tuple[str, ...]" = TENSOR_MUTATION_ALLOWED
     framing_allowed: "tuple[str, ...]" = FRAMING_ALLOWED
+    perf_loop_prefixes: "tuple[str, ...]" = PERF_LOOP_PREFIXES
+    perf_loop_allowed: "tuple[str, ...]" = PERF_LOOP_ALLOWED
     #: basenames never linted for export rules (CLI entry points)
     entry_point_names: "tuple[str, ...]" = ("__main__.py",)
 
@@ -72,6 +80,11 @@ class ModuleInfo:
 
     def may_do_wire_framing(self, config: LintConfig) -> bool:
         return self.relpath.startswith(config.framing_allowed)
+
+    def in_perf_loop_scope(self, config: LintConfig) -> bool:
+        return self.relpath.startswith(config.perf_loop_prefixes) and not self.relpath.startswith(
+            config.perf_loop_allowed
+        )
 
     def is_entry_point(self, config: LintConfig) -> bool:
         return Path(self.relpath).name in config.entry_point_names

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ..linter import Rule
 from .comm import WireFramingRule
 from .dtype import MissingDtypeRule
+from .perf import PerLayerLoopRule
 from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
 from .randomness import ModuleLevelRNGRule
 from .style import BareExceptRule, MutableDefaultRule
@@ -29,6 +30,7 @@ RULE_CLASSES: "tuple[type[Rule], ...]" = (
     MissingDtypeRule,
     TensorDataMutationRule,
     WireFramingRule,
+    PerLayerLoopRule,
 )
 
 

@@ -1,0 +1,70 @@
+"""PERF001 — no per-layer Python loops over whole-model state on the hot path.
+
+The arena layer (``repro.core.arena.LayerArena``) exists so whole-state
+operations — apply an update, decay momentum, compute M − v_k — are one
+fused vectorised op over a flat buffer.  A ``for`` loop over
+``parameters_of(...)`` / ``gradients_of(...)`` in ``core/``, ``ps/`` or
+``exec/`` re-introduces the per-layer interpreter overhead the arena was
+built to remove (and stretches the server's lock hold).  The dict-of-
+float64 reference path in ``core/layerops.py`` is exempt: it exists
+precisely to stay naive so the parity tests have something exact to
+compare against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..linter import LintConfig, ModuleInfo, Rule
+
+__all__ = ["PerLayerLoopRule"]
+
+#: whole-model collectors whose results must not be iterated layer-by-layer
+_COLLECTORS = {"parameters_of", "gradients_of"}
+
+#: Mapping iteration views — looping `collector(...).items()` is still a loop
+_VIEWS = {"items", "keys", "values"}
+
+
+def _collector_call(node: ast.AST) -> "str | None":
+    """The collector name if ``node`` is ``parameters_of(...)`` /
+    ``gradients_of(...)`` or an ``.items()``-style view of one."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _VIEWS and not node.args:
+        return _collector_call(func.value)
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    return name if name in _COLLECTORS else None
+
+
+class PerLayerLoopRule(Rule):
+    id = "PERF001"
+    summary = "per-layer Python loop over parameters_of()/gradients_of() on the hot path"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if not module.in_perf_loop_scope(config):
+            return
+        for node in ast.walk(module.tree):
+            iters: "list[ast.AST]" = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                name = _collector_call(it)
+                if name is not None:
+                    yield self.finding(
+                        module,
+                        it,
+                        f"per-layer loop over '{name}(...)' on the hot path; "
+                        "use a LayerArena and one fused op over .flat "
+                        "(repro.core.arena), or move the loop to the "
+                        "layerops reference path",
+                    )

@@ -6,6 +6,7 @@ from .coding import (
     HEADER_BYTES,
     INDEX_BYTES,
     VALUE_BYTES,
+    VALUE_DTYPE,
     BitmapTensor,
     DenseTensor,
     QuantizedSparseTensor,
@@ -13,6 +14,7 @@ from .coding import (
     bitmap_nbytes,
     dense_nbytes,
     encode_best,
+    encode_indices,
     encode_mask,
     encode_sparse,
     sparse_nbytes,
@@ -22,7 +24,8 @@ from .randomk import RandomKSparsifier
 from .stats import CompressionStats
 from .terngrad import TernaryTensor, TernGradQuantizer
 from .threshold import ThresholdSparsifier
-from .topk import TopKSparsifier, topk_mask, topk_threshold
+from .topk import TopKSparsifier, topk_mask, topk_select, topk_threshold
+from .workspace import KernelWorkspace
 
 __all__ = [
     "Sparsifier",
@@ -30,7 +33,9 @@ __all__ = [
     "unsparsify",
     "TopKSparsifier",
     "topk_mask",
+    "topk_select",
     "topk_threshold",
+    "KernelWorkspace",
     "ThresholdSparsifier",
     "AdaptiveThresholdSparsifier",
     "RandomKSparsifier",
@@ -45,10 +50,12 @@ __all__ = [
     "encode_sparse",
     "encode_best",
     "encode_mask",
+    "encode_indices",
     "dense_nbytes",
     "sparse_nbytes",
     "bitmap_nbytes",
     "VALUE_BYTES",
+    "VALUE_DTYPE",
     "INDEX_BYTES",
     "HEADER_BYTES",
     "CompressionStats",

@@ -21,6 +21,17 @@ class Sparsifier(ABC):
     def mask(self, arr: np.ndarray) -> np.ndarray:
         """Return a boolean array marking the entries to transmit."""
 
+    def select(self, arr: np.ndarray, workspace=None):
+        """Fused mask+encode: the selected entries as a ``SparseTensor``.
+
+        Optional fast path for the allocation-free kernels: sparsifiers
+        that can produce the wire tensor directly (without materialising
+        the boolean mask) override this.  The default returns ``None``,
+        telling callers to fall back to ``encode_mask(arr, self.mask(arr))``
+        — both routes must select the identical entry set.
+        """
+        return None
+
     def split(self, arr: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Return ``(mask, sent, kept)`` with ``sent + kept == arr``."""
         m = self.mask(arr)

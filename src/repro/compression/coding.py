@@ -13,8 +13,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .workspace import KernelWorkspace
+
 __all__ = [
     "VALUE_BYTES",
+    "VALUE_DTYPE",
     "INDEX_BYTES",
     "HEADER_BYTES",
     "SparseTensor",
@@ -23,6 +26,7 @@ __all__ = [
     "QuantizedSparseTensor",
     "encode_sparse",
     "encode_mask",
+    "encode_indices",
     "encode_best",
     "dense_nbytes",
     "sparse_nbytes",
@@ -30,16 +34,23 @@ __all__ = [
 ]
 
 VALUE_BYTES = 4  # float32 on the wire
+VALUE_DTYPE = np.dtype(np.float32)  # the dtype those 4 bytes hold
 INDEX_BYTES = 4  # uint32 flat index
 HEADER_BYTES = 16  # layer id, nnz, shape descriptor, dtype tag
 
 
 @dataclass(frozen=True)
 class SparseTensor:
-    """COO encoding of one layer's update: flat indices + values + shape."""
+    """COO encoding of one layer's update: flat indices + values + shape.
 
-    indices: np.ndarray  # (nnz,) int64 flat indices, strictly increasing
-    values: np.ndarray  # (nnz,) float64
+    Values produced by the ``encode_*`` functions are float32 — the wire
+    dtype the ``VALUE_BYTES = 4`` accounting (and the byte codec) assume —
+    so what a worker decodes is exactly what the byte counts claim.
+    Hand-constructed instances may carry any float dtype.
+    """
+
+    indices: np.ndarray  # (nnz,) intp flat indices, strictly increasing
+    values: np.ndarray  # (nnz,) float32 from the encoders (VALUE_DTYPE)
     shape: tuple[int, ...]
 
     def __post_init__(self) -> None:
@@ -156,7 +167,7 @@ class BitmapTensor:
     def from_mask(arr: np.ndarray, mask: np.ndarray) -> "BitmapTensor":
         flat_mask = mask.reshape(-1)
         packed = np.packbits(flat_mask.astype(np.uint8), bitorder="little")
-        return BitmapTensor(packed, arr.reshape(-1)[flat_mask].copy(), arr.shape)
+        return BitmapTensor(packed, arr.reshape(-1)[flat_mask].astype(VALUE_DTYPE), arr.shape)
 
 
 @dataclass(frozen=True)
@@ -195,23 +206,68 @@ class QuantizedSparseTensor:
         dest.reshape(-1)[self.indices] += self.signs * self.scale
 
 
-def encode_sparse(arr: np.ndarray) -> SparseTensor:
-    """COO-encode the nonzeros of ``arr`` (the paper's ``encode()``)."""
+def _gather_values(
+    flat: np.ndarray, idx: np.ndarray, workspace: "KernelWorkspace | None"
+) -> np.ndarray:
+    """``flat[idx]`` as a fresh float32 wire-value array.
+
+    With a workspace, the pre-cast gather lands in reusable scratch so
+    only the returned float32 array is allocated.
+    """
+    if workspace is None or flat.dtype == VALUE_DTYPE:
+        return flat[idx].astype(VALUE_DTYPE)
+    staged = workspace.scratch("enc.gather", idx.size, flat.dtype)
+    np.take(flat, idx, out=staged)
+    return staged.astype(VALUE_DTYPE)
+
+
+def encode_sparse(arr: np.ndarray, workspace: "KernelWorkspace | None" = None) -> SparseTensor:
+    """COO-encode the nonzeros of ``arr`` (the paper's ``encode()``).
+
+    Values are cast to float32 — the wire dtype the byte accounting
+    assumes — at encode time.
+    """
     flat = arr.reshape(-1)
     idx = np.flatnonzero(flat)
-    return SparseTensor(idx, flat[idx].copy(), arr.shape)
+    return SparseTensor(idx, _gather_values(flat, idx, workspace), arr.shape)
 
 
-def encode_mask(arr: np.ndarray, mask: np.ndarray) -> SparseTensor:
+def encode_mask(
+    arr: np.ndarray, mask: np.ndarray, workspace: "KernelWorkspace | None" = None
+) -> SparseTensor:
     """COO-encode ``arr`` at the positions selected by boolean ``mask``."""
     if mask.shape != arr.shape:
         raise ValueError("mask shape must match array shape")
     flat = arr.reshape(-1)
     idx = np.flatnonzero(mask.reshape(-1))
-    return SparseTensor(idx, flat[idx].copy(), arr.shape)
+    return SparseTensor(idx, _gather_values(flat, idx, workspace), arr.shape)
 
 
-def encode_best(arr: np.ndarray) -> "SparseTensor | BitmapTensor | DenseTensor":
+def encode_indices(
+    arr: np.ndarray,
+    indices: np.ndarray,
+    workspace: "KernelWorkspace | None" = None,
+    assume_sorted: bool = False,
+) -> SparseTensor:
+    """COO-encode ``arr`` at the given flat ``indices`` (fused-select extract).
+
+    The extract half of ``topk_select``: when a selection kernel already
+    holds the chosen flat indices (e.g. straight out of ``argpartition``),
+    this builds the wire tensor in O(nnz·log nnz) — no boolean mask, no
+    O(n) ``flatnonzero`` scan.  Indices are sorted ascending to match
+    :func:`encode_mask` output exactly; pass ``assume_sorted=True`` to
+    skip the sort (the array is then used as-is, not copied).
+    """
+    flat = arr.reshape(-1)
+    idx = np.asarray(indices)
+    if not assume_sorted:
+        idx = np.sort(idx)
+    return SparseTensor(idx, _gather_values(flat, idx, workspace), arr.shape)
+
+
+def encode_best(
+    arr: np.ndarray, workspace: "KernelWorkspace | None" = None
+) -> "SparseTensor | BitmapTensor | DenseTensor":
     """Encode with the cheapest of COO / bitmap / dense for this density.
 
     Used for the downstream model difference, whose density grows with
@@ -219,19 +275,22 @@ def encode_best(arr: np.ndarray) -> "SparseTensor | BitmapTensor | DenseTensor":
     (bitmap) vs n·4 (dense).
     """
     flat = arr.reshape(-1)
-    mask = flat != 0
-    nnz = int(mask.sum())
     n = flat.size
+    if workspace is None:
+        mask = flat != 0
+    else:
+        mask = np.not_equal(flat, 0, out=workspace.scratch("enc.nzmask", n, bool))
+    nnz = int(mask.sum())
     coo = sparse_nbytes(nnz)
     bmp = bitmap_nbytes(n, nnz)
     dense = dense_nbytes(n)
     best = min(coo, bmp, dense)
     if best == coo:
         idx = np.flatnonzero(mask)
-        return SparseTensor(idx, flat[idx].copy(), arr.shape)
+        return SparseTensor(idx, _gather_values(flat, idx, workspace), arr.shape)
     if best == bmp:
         return BitmapTensor.from_mask(arr, mask.reshape(arr.shape))
-    return DenseTensor(arr.copy())
+    return DenseTensor(arr.astype(VALUE_DTYPE))
 
 
 def dense_nbytes(shape_or_size) -> int:

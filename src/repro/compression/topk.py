@@ -3,6 +3,18 @@
 "worker k calculates the threshold for sparsification, which we chose here
 as Top 1%" (§4.1): per layer, keep the R% entries of largest absolute
 value.  Implemented with ``np.argpartition`` (O(n), not a full sort).
+
+Two call styles:
+
+* the reference kernels (``topk_mask`` / ``topk_threshold`` with
+  ``workspace=None``) allocate per call — simple, and the baseline the
+  parity tests compare against;
+* the hot path passes a :class:`~repro.compression.workspace.KernelWorkspace`
+  to reuse the ``|u|`` magnitude and mask scratch across iterations, and
+  uses :func:`topk_select` to produce the wire ``SparseTensor`` directly
+  from the ``argpartition`` output — no boolean mask, no ``flatnonzero``
+  scan over the full layer.  Selection is bitwise-identical either way
+  (same ``argpartition`` over the same magnitudes).
 """
 
 from __future__ import annotations
@@ -12,8 +24,10 @@ import math
 import numpy as np
 
 from .base import Sparsifier
+from .coding import SparseTensor, encode_indices
+from .workspace import KernelWorkspace
 
-__all__ = ["TopKSparsifier", "topk_mask", "topk_threshold"]
+__all__ = ["TopKSparsifier", "topk_mask", "topk_select", "topk_threshold"]
 
 
 def _k_for_ratio(n: int, ratio: float) -> int:
@@ -21,31 +35,84 @@ def _k_for_ratio(n: int, ratio: float) -> int:
     return max(1, min(n, math.ceil(n * ratio)))
 
 
-def topk_mask(arr: np.ndarray, ratio: float) -> np.ndarray:
-    """Boolean mask of the ⌈ratio·n⌉ largest-|value| entries of ``arr``."""
-    flat = np.abs(arr.reshape(-1))
+def _magnitudes(flat: np.ndarray, workspace: "KernelWorkspace | None") -> np.ndarray:
+    """``|flat|``, into reusable scratch when a workspace is supplied."""
+    if workspace is None:
+        return np.abs(flat)
+    return np.abs(flat, out=workspace.scratch("topk.abs", flat.size, flat.dtype))
+
+
+def topk_mask(
+    arr: np.ndarray, ratio: float, workspace: "KernelWorkspace | None" = None
+) -> np.ndarray:
+    """Boolean mask of the ⌈ratio·n⌉ largest-|value| entries of ``arr``.
+
+    With a workspace, the returned mask aliases workspace memory: it is
+    valid until the next kernel call on that workspace (consume it before
+    selecting the next layer).
+    """
+    flat = arr.reshape(-1)
     n = flat.size
     k = _k_for_ratio(n, ratio)
     if k >= n:
         return np.ones(arr.shape, dtype=bool)
-    idx = np.argpartition(flat, n - k)[n - k :]
-    mask = np.zeros(n, dtype=bool)
+    mag = _magnitudes(flat, workspace)
+    if workspace is None:
+        mask = np.zeros(n, dtype=bool)
+    else:
+        mask = workspace.scratch("topk.mask", n, bool)
+        mask[:] = False
+    idx = np.argpartition(mag, n - k)[n - k :]
     mask[idx] = True
     return mask.reshape(arr.shape)
 
 
-def topk_threshold(arr: np.ndarray, ratio: float) -> float:
+def topk_select(
+    arr: np.ndarray, ratio: float, workspace: "KernelWorkspace | None" = None
+) -> SparseTensor:
+    """Fused select-and-extract: the top-⌈ratio·n⌉ entries as a ``SparseTensor``.
+
+    Equivalent to ``encode_mask(arr, topk_mask(arr, ratio))`` — same
+    selected set (one ``argpartition`` call on the same magnitudes), same
+    ascending index order, same float32 wire values — without ever
+    materialising the boolean mask or scanning the layer for nonzeros.
+    The returned tensor owns freshly allocated indices/values (never
+    workspace aliases), so it may outlive the workspace.
+    """
+    flat = arr.reshape(-1)
+    n = flat.size
+    k = _k_for_ratio(n, ratio)
+    if k >= n:
+        return encode_indices(
+            arr, np.arange(n, dtype=np.intp), workspace=workspace, assume_sorted=True
+        )
+    mag = _magnitudes(flat, workspace)
+    sel = np.argpartition(mag, n - k)[n - k :]
+    sel.sort()  # flatnonzero yields ascending indices; match it exactly
+    return encode_indices(arr, sel, workspace=workspace, assume_sorted=True)
+
+
+def topk_threshold(
+    arr: np.ndarray, ratio: float, workspace: "KernelWorkspace | None" = None
+) -> float:
     """The magnitude threshold ``thr`` such that |arr| > thr keeps ≈ top R%.
 
     This is the ``thr ← R% of |u[j]|`` of Algorithms 1–3.  Exposed for tests
     and for threshold-based variants; :func:`topk_mask` is what the
     production path uses (exact k, robust to ties).
     """
-    flat = np.abs(arr.reshape(-1))
+    flat = arr.reshape(-1)
     k = _k_for_ratio(flat.size, ratio)
     if k >= flat.size:
         return -np.inf
-    return float(np.partition(flat, flat.size - k)[flat.size - k])
+    if workspace is None:
+        mag = np.abs(flat)
+        return float(np.partition(mag, flat.size - k)[flat.size - k])
+    # The magnitude scratch is ours to destroy: partition it in place
+    # instead of letting np.partition copy it first.
+    mag = _magnitudes(flat, workspace)
+    mag.partition(flat.size - k)
+    return float(mag[flat.size - k])
 
 
 class TopKSparsifier(Sparsifier):
@@ -73,6 +140,14 @@ class TopKSparsifier(Sparsifier):
         if arr.size < self.min_sparse_size:
             return np.ones(arr.shape, dtype=bool)
         return topk_mask(arr, self.ratio)
+
+    def select(
+        self, arr: np.ndarray, workspace: "KernelWorkspace | None" = None
+    ) -> SparseTensor:
+        """Fused mask+encode (see :meth:`Sparsifier.select`): tiny layers
+        come back fully selected, exactly like the all-ones mask path."""
+        ratio = 1.0 if arr.size < self.min_sparse_size else self.ratio
+        return topk_select(arr, ratio, workspace=workspace)
 
     def __repr__(self) -> str:
         return f"TopKSparsifier(ratio={self.ratio}, min_sparse_size={self.min_sparse_size})"

@@ -1,0 +1,68 @@
+"""Reusable scratch buffers for the hot compression kernels.
+
+Every DGS iteration runs, per layer: ``|u|`` → ``argpartition`` top-k →
+COO encode.  The reference kernels allocate their ``|u|`` magnitude
+buffer, boolean mask and index arrays fresh on every call — at 1 M
+parameters that is several MB of allocator traffic per iteration per
+worker, paid again by the server for every model difference.
+
+:class:`KernelWorkspace` is a small keyed pool of reusable buffers the
+kernels draw their *transient* scratch from.  Kernels that accept a
+``workspace=`` reuse buffers instead of allocating; passing ``None``
+(the default) reproduces the historical allocate-per-call behaviour
+bit-for-bit.
+
+Lifetime / ownership rules (see ``docs/performance.md``):
+
+* A workspace is **single-threaded state**: one per worker strategy, one
+  per server tracker.  Never share one across threads.
+* A buffer returned by :meth:`scratch` — and any kernel *output that
+  aliases workspace memory*, such as the mask from
+  ``topk_mask(..., workspace=ws)`` — is valid only until the next kernel
+  call on the same workspace.  Consume it before selecting the next
+  layer.  Kernel outputs that must outlive the call (``SparseTensor``
+  values/indices) are always freshly gathered, never aliased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KernelWorkspace"]
+
+
+class KernelWorkspace:
+    """Keyed pool of reusable 1-D scratch buffers for the hot kernels."""
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: "dict[tuple[str, np.dtype], np.ndarray]" = {}
+
+    def scratch(self, tag: str, size: int, dtype: "np.dtype | type | str") -> np.ndarray:
+        """A reusable uninitialised buffer of ``size`` elements.
+
+        One backing buffer per ``(tag, dtype)``, grown geometrically to the
+        largest size ever requested (so per-layer calls of varying size —
+        different layers, varying nnz — reuse one allocation); the returned
+        view's contents are whatever the previous use left behind — callers
+        must overwrite before reading.
+        """
+        key = (tag, np.dtype(dtype))
+        n = int(size)
+        buf = self._buffers.get(key)
+        if buf is None or buf.size < n:
+            capacity = n if buf is None else max(n, 2 * buf.size)
+            buf = np.empty(capacity, dtype=key[1])
+            self._buffers[key] = buf
+        return buf[:n]
+
+    def nbytes(self) -> int:
+        """Resident scratch memory (for the §5.6.2-style accounting)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+    def __repr__(self) -> str:
+        return f"KernelWorkspace({len(self._buffers)} buffers, {self.nbytes()} bytes)"

@@ -98,8 +98,10 @@ class DGSTernGradStrategy(SAMomentumStrategy):
         sparsifier: TopKSparsifier,
         momentum: float,
         seed: int = 0,
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
     ) -> None:
-        super().__init__(shapes, sparsifier, momentum)
+        super().__init__(shapes, sparsifier, momentum, arena=arena, dtype=dtype)
         self._rng = np.random.default_rng(seed)
 
     def prepare(self, grads: Mapping[str, np.ndarray], lr: float):
@@ -178,7 +180,11 @@ def register_extensions() -> None:
 
 
 def build_extension_strategy(
-    kind: str, shapes: Mapping[str, tuple[int, ...]], hyper: Hyper
+    kind: str,
+    shapes: Mapping[str, tuple[int, ...]],
+    hyper: Hyper,
+    arena: bool = False,
+    arena_dtype: "object | None" = None,
 ) -> WorkerStrategy | None:
     """Factory hook consulted by :func:`repro.core.methods.build_strategy`."""
     if kind == "terngrad":
@@ -192,6 +198,8 @@ def build_extension_strategy(
             shapes,
             TopKSparsifier(hyper.ratio, min_sparse_size=hyper.min_sparse_size),
             hyper.momentum,
+            arena=arena,
+            dtype=arena_dtype,
         )
     if kind == "dgs_adaptive":
         from ..compression.adaptive import AdaptiveThresholdSparsifier
@@ -200,6 +208,8 @@ def build_extension_strategy(
             shapes,
             AdaptiveThresholdSparsifier(hyper.ratio, min_sparse_size=hyper.min_sparse_size),
             hyper.momentum,
+            arena=arena,
+            dtype=arena_dtype,
         )
     return None
 

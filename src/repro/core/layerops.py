@@ -151,6 +151,22 @@ def total_nbytes(layers: Mapping[str, np.ndarray]) -> int:
     return sum(arr.nbytes for arr in layers.values())
 
 
-def flatten_layers(layers: Mapping[str, np.ndarray]) -> np.ndarray:
-    """Concatenate all layers into one flat vector (for norms/metrics)."""
-    return np.concatenate([arr.reshape(-1) for arr in layers.values()]) if layers else np.empty(0)
+def flatten_layers(
+    layers: Mapping[str, np.ndarray], dtype: "np.dtype | type | str" = np.float32
+) -> np.ndarray:
+    """Concatenate all layers into one flat vector (for norms/metrics).
+
+    A :class:`~repro.core.arena.LayerArena` already *is* this vector —
+    ``arena.flat`` returns it zero-copy, so prefer that on the hot path.
+    ``dtype`` only determines the result for an **empty** mapping (the
+    historical code returned float64 ``np.empty(0)`` while every non-empty
+    result followed the layers' dtype — an inconsistency callers could
+    trip over when reducing over zero layers).
+    """
+    from .arena import LayerArena  # local: layerops is imported by arena's peers
+
+    if isinstance(layers, LayerArena):
+        return layers.flat
+    if not layers:
+        return np.empty(0, dtype=dtype)
+    return np.concatenate([arr.reshape(-1) for arr in layers.values()])

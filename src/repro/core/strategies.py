@@ -30,7 +30,9 @@ import numpy as np
 from ..compression.base import Sparsifier
 from ..compression.coding import SparseTensor, encode_mask
 from ..compression.topk import TopKSparsifier
+from ..compression.workspace import KernelWorkspace
 from ..optim.clip import clip_by_global_norm
+from .arena import make_layer_buffers
 
 __all__ = [
     "WorkerStrategy",
@@ -45,13 +47,50 @@ UpdateMap = "OrderedDict[str, SparseTensor] | OrderedDict[str, np.ndarray]"
 
 
 class WorkerStrategy(ABC):
-    """Transforms local gradients into the update message sent upstream."""
+    """Transforms local gradients into the update message sent upstream.
+
+    Every strategy runs in one of two modes:
+
+    * ``arena=False`` (reference, the default for direct construction):
+      state buffers are a dict of independent float64 arrays and the
+      kernels allocate per call — the historical behaviour, kept as the
+      baseline the property tests compare against;
+    * ``arena=True`` (the hot path, default via ``RunConfig``): state
+      lives in a :class:`~repro.core.arena.LayerArena` (float32 unless
+      ``dtype`` overrides) and the selection/encode kernels draw scratch
+      from a per-strategy :class:`KernelWorkspace`.  Selection and
+      arithmetic are bitwise-identical to the reference at equal dtype.
+    """
 
     #: whether :meth:`prepare` returns sparse (COO) or dense layers
     sparse_output: bool = True
 
-    def __init__(self, shapes: Mapping[str, tuple[int, ...]]) -> None:
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
+    ) -> None:
         self.shapes = OrderedDict(shapes)
+        self.arena = bool(arena)
+        self.dtype = dtype
+        #: single-threaded scratch pool; one per strategy (see workspace.py)
+        self.workspace: "KernelWorkspace | None" = KernelWorkspace() if self.arena else None
+
+    def _make_buffers(self):
+        """Zeroed per-layer state in this strategy's chosen representation."""
+        return make_layer_buffers(self.shapes, self.arena, self.dtype)
+
+    def _select(self, sparsifier: Sparsifier, arr: np.ndarray) -> SparseTensor:
+        """Fused select on the arena path; mask+encode reference otherwise.
+
+        Both routes pick the identical entry set (same argpartition over
+        the same magnitudes) — only the allocation behaviour differs.
+        """
+        st = sparsifier.select(arr, self.workspace)
+        if st is None:
+            st = encode_mask(arr, sparsifier.mask(arr), self.workspace)
+        return st
 
     @abstractmethod
     def prepare(
@@ -91,8 +130,23 @@ class DenseStrategy(WorkerStrategy):
 
     sparse_output = False
 
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
+    ) -> None:
+        super().__init__(shapes, arena=arena, dtype=dtype)
+        # Arena mode reuses one output arena across iterations (valid until
+        # the next prepare(); safe under the strict request→reply cycle).
+        self._out = self._make_buffers() if self.arena else None
+
     def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, np.ndarray]":
-        return OrderedDict((name, lr * g) for name, g in grads.items())
+        if self._out is None:
+            return OrderedDict((name, lr * g) for name, g in grads.items())
+        for name, g in grads.items():
+            np.multiply(g, lr, out=self._out[name])
+        return self._out
 
 
 class GradientDroppingStrategy(WorkerStrategy):
@@ -103,15 +157,29 @@ class GradientDroppingStrategy(WorkerStrategy):
     η∇ mass — nothing is lost, only delayed.
     """
 
-    def __init__(self, shapes: Mapping[str, tuple[int, ...]], sparsifier: Sparsifier) -> None:
-        super().__init__(shapes)
+    def __init__(
+        self,
+        shapes: Mapping[str, tuple[int, ...]],
+        sparsifier: Sparsifier,
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
+    ) -> None:
+        super().__init__(shapes, arena=arena, dtype=dtype)
         self.sparsifier = sparsifier
-        self.residual: OrderedDict[str, np.ndarray] = OrderedDict(
-            (name, np.zeros(shape)) for name, shape in self.shapes.items()
-        )
+        self.residual = self._make_buffers()
 
     def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, SparseTensor]":
         out: OrderedDict[str, SparseTensor] = OrderedDict()
+        if self.arena:
+            for name, g in grads.items():
+                r = self.residual[name]
+                r += lr * g
+                st = self._select(self.sparsifier, r)
+                out[name] = st
+                # Zero the sent coordinates through the fused tensor's
+                # indices — the same set r[mask] = 0.0 would clear.
+                r.reshape(-1)[st.indices] = 0.0
+            return out
         for name, g in grads.items():
             r = self.residual[name]
             r += lr * g
@@ -179,8 +247,10 @@ class DGCStrategy(WorkerStrategy):
         ramp: SparsityRamp | None = None,
         clip_norm: float | None = None,
         min_sparse_size: int = 256,
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
     ) -> None:
-        super().__init__(shapes)
+        super().__init__(shapes, arena=arena, dtype=dtype)
         if not 0.0 <= momentum < 1.0:
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.ratio = ratio
@@ -189,12 +259,8 @@ class DGCStrategy(WorkerStrategy):
         self.clip_norm = clip_norm
         self.min_sparse_size = min_sparse_size
         self.iteration = 0
-        self.u: OrderedDict[str, np.ndarray] = OrderedDict(
-            (name, np.zeros(shape)) for name, shape in self.shapes.items()
-        )
-        self.v: OrderedDict[str, np.ndarray] = OrderedDict(
-            (name, np.zeros(shape)) for name, shape in self.shapes.items()
-        )
+        self.u = self._make_buffers()
+        self.v = self._make_buffers()
 
     def _current_sparsifier(self) -> TopKSparsifier:
         ratio = self.ramp.ratio_at(self.iteration) if self.ramp is not None else self.ratio
@@ -206,6 +272,21 @@ class DGCStrategy(WorkerStrategy):
             clip_by_global_norm(list(grads.values()), self.clip_norm)
         sparsifier = self._current_sparsifier()
         out: OrderedDict[str, SparseTensor] = OrderedDict()
+        if self.arena:
+            # Fused decay across all layers (layers are independent, so one
+            # whole-buffer multiply matches the per-layer u *= m exactly).
+            self.u.flat *= self.momentum
+            for name, g in grads.items():
+                u, v = self.u[name], self.v[name]
+                u += lr * g  # momentum correction: velocity, not raw gradient
+                v += u
+                st = self._select(sparsifier, v)
+                out[name] = st
+                idx = st.indices
+                v.reshape(-1)[idx] = 0.0
+                u.reshape(-1)[idx] = 0.0  # momentum factor masking
+            self.iteration += 1
+            return out
         for name, g in grads.items():
             u, v = self.u[name], self.v[name]
             u *= self.momentum
@@ -247,19 +328,36 @@ class SAMomentumStrategy(WorkerStrategy):
         shapes: Mapping[str, tuple[int, ...]],
         sparsifier: Sparsifier,
         momentum: float,
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
     ) -> None:
-        super().__init__(shapes)
+        super().__init__(shapes, arena=arena, dtype=dtype)
         if not 0.0 < momentum < 1.0:
             raise ValueError(f"SAMomentum requires momentum in (0, 1), got {momentum}")
         self.sparsifier = sparsifier
         self.momentum = momentum
-        self.u: OrderedDict[str, np.ndarray] = OrderedDict(
-            (name, np.zeros(shape)) for name, shape in self.shapes.items()
-        )
+        self.u = self._make_buffers()
 
     def prepare(self, grads: Mapping[str, np.ndarray], lr: float) -> "OrderedDict[str, SparseTensor]":
         m = self.momentum
         out: OrderedDict[str, SparseTensor] = OrderedDict()
+        if self.arena:
+            ws = self.workspace
+            for name, g in grads.items():
+                u = self.u[name]
+                u *= m
+                u += lr * g
+                st = self._select(self.sparsifier, u)
+                out[name] = st
+                # Eq. 15 rescale without the boolean mask: save the sent
+                # values, divide the whole layer by m, restore the sent
+                # coordinates — bitwise the where=~mask division.
+                flat = u.reshape(-1)
+                sent = ws.scratch("sam.sent", st.nnz, flat.dtype)
+                np.take(flat, st.indices, out=sent)
+                flat /= m
+                flat[st.indices] = sent
+            return out
         for name, g in grads.items():
             u = self.u[name]
             u *= m

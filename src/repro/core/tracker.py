@@ -24,12 +24,23 @@ import numpy as np
 
 from ..compression.base import Sparsifier
 from ..compression.coding import SparseTensor, encode_best, encode_mask
+from ..compression.workspace import KernelWorkspace
+from .arena import LayerArena, make_layer_buffers
 
 __all__ = ["ModelDifferenceTracker"]
 
 
 class ModelDifferenceTracker:
-    """Server state for dual-way sparsification (M, per-worker v_k)."""
+    """Server state for dual-way sparsification (M, per-worker v_k).
+
+    ``arena=True`` stores M and every v_k as
+    :class:`~repro.core.arena.LayerArena` buffers (float32 unless ``dtype``
+    overrides): applying an update or advancing v_k becomes one fused op
+    over the flat buffer — shortening the server's lock hold — and the
+    model-difference encode draws scratch from a tracker-owned
+    :class:`KernelWorkspace`.  ``arena=False`` is the dict-of-float64
+    reference path, bitwise-identical at equal dtype.
+    """
 
     def __init__(
         self,
@@ -37,6 +48,8 @@ class ModelDifferenceTracker:
         num_workers: int,
         secondary: Sparsifier | None = None,
         track_differences: bool = True,
+        arena: bool = False,
+        dtype: "np.dtype | type | str | None" = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -44,15 +57,20 @@ class ModelDifferenceTracker:
         self.num_workers = num_workers
         self.secondary = secondary
         self.track_differences = track_differences
-        self.M: OrderedDict[str, np.ndarray] = OrderedDict(
-            (name, np.zeros(shape)) for name, shape in self.shapes.items()
-        )
+        self.arena = bool(arena)
+        self.workspace: "KernelWorkspace | None" = KernelWorkspace() if self.arena else None
+        self.M = make_layer_buffers(self.shapes, self.arena, dtype)
         # v_k buffers exist only under difference tracking — vanilla ASGD
         # downloads the whole model and pays no per-worker server memory.
-        self.v: list[OrderedDict[str, np.ndarray]] = [
-            OrderedDict((name, np.zeros(shape)) for name, shape in self.shapes.items())
+        self.v = [
+            make_layer_buffers(self.shapes, self.arena, dtype)
             for _ in range(num_workers if track_differences else 0)
         ]
+        # Reused scratch arena for M − v_k (arena mode only; overwritten on
+        # every model_difference call, never escapes the tracker).
+        self._diff: "LayerArena | None" = (
+            LayerArena(self.shapes, dtype=self.M.dtype) if self.arena else None
+        )
         #: server timestamp t — incremented once per applied update (Table 1)
         self.t = 0
         #: prev(k): server timestamp of worker k's last download (Table 1)
@@ -61,6 +79,12 @@ class ModelDifferenceTracker:
     # ------------------------------------------------------------------
     def apply_update(self, update: "Mapping[str, SparseTensor] | Mapping[str, np.ndarray]") -> int:
         """``M ← M − g`` (Eq. 1).  Returns the new server timestamp."""
+        if self.arena:
+            # One fused op for same-layout dense arenas; COO scatter /
+            # to_dense fallbacks otherwise — same arithmetic either way.
+            self.M.add_payload(update, scale=-1.0)
+            self.t += 1
+            return self.t
         for name, g in update.items():
             dest = self.M[name]
             if isinstance(g, SparseTensor):
@@ -81,6 +105,25 @@ class ModelDifferenceTracker:
             raise RuntimeError("model_difference() requires track_differences=True")
         vk = self.v[worker]
         out: OrderedDict[str, SparseTensor] = OrderedDict()
+        if self.arena:
+            # One fused subtraction for the whole difference, then per-layer
+            # encode out of the scratch arena's views.
+            diff = self._diff
+            np.subtract(self.M.flat, vk.flat, out=diff.flat)
+            for name in self.M:
+                d = diff[name]
+                if self.secondary is not None:
+                    sent = self.secondary.select(d, self.workspace)
+                    if sent is None:
+                        sent = encode_mask(d, self.secondary.mask(d), self.workspace)
+                    sent.add_into(vk[name])
+                else:
+                    sent = encode_best(d, self.workspace)
+                out[name] = sent
+            if self.secondary is None:
+                vk.copy_(self.M)  # v_k == M (Eq. 3), one memcpy
+            self.prev[worker] = self.t
+            return out
         for name, m_layer in self.M.items():
             diff = m_layer - vk[name]
             if self.secondary is not None:
@@ -103,8 +146,14 @@ class ModelDifferenceTracker:
         return self.t - self.prev[worker]
 
     # ------------------------------------------------------------------
-    def global_model(self, theta0: Mapping[str, np.ndarray]) -> "OrderedDict[str, np.ndarray]":
+    def global_model(self, theta0: Mapping[str, np.ndarray]) -> "Mapping[str, np.ndarray]":
         """Materialise θ_t = θ_0 + M_t (Eq. 2) — used for evaluation."""
+        if (
+            self.arena
+            and isinstance(theta0, LayerArena)
+            and theta0.same_layout(self.M)
+        ):
+            return theta0.clone().add_(self.M)  # one fused θ0 + M
         return OrderedDict((name, theta0[name] + self.M[name]) for name in self.M)
 
     def state_dict(self) -> "dict[str, np.ndarray]":

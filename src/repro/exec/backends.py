@@ -72,6 +72,8 @@ class ThreadedBackend(_BackendBase):
             seed=config.seed,
             tracer=config.tracer,
             wire_fidelity=config.wire_fidelity,
+            arena=config.arena,
+            arena_dtype=config.arena_dtype,
         )
 
 
@@ -98,6 +100,8 @@ class ProcessBackend(_BackendBase):
             staleness_damping=config.staleness_damping,
             seed=config.seed,
             fail_at=config.fail_at,
+            arena=config.arena,
+            arena_dtype=config.arena_dtype,
         )
 
 
@@ -132,6 +136,8 @@ class SimulatedBackend(_BackendBase):
             logger=config.logger,
             tracer=config.tracer,
             seed=config.seed,
+            arena=config.arena,
+            arena_dtype=config.arena_dtype,
         )
 
 
@@ -168,6 +174,8 @@ class SyncBackend(_BackendBase):
             hyper=config.hyper,
             schedule=config.schedule,
             seed=config.seed,
+            arena=config.arena,
+            arena_dtype=config.arena_dtype,
         )
 
 

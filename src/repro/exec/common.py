@@ -79,6 +79,8 @@ def build_server(
     hyper: Hyper,
     secondary_compression: "bool | None" = None,
     staleness_damping: bool = False,
+    arena: bool = False,
+    arena_dtype: "object | None" = None,
 ) -> "ParameterServer":
     """A parameter server configured for ``method``'s downstream mode."""
     from ..ps.server import ParameterServer
@@ -90,6 +92,8 @@ def build_server(
         secondary_ratio=secondary_ratio_for(method, hyper, secondary_compression),
         secondary_min_sparse_size=hyper.min_sparse_size,
         staleness_damping=staleness_damping,
+        arena=arena,
+        arena_dtype=arena_dtype,
     )
 
 
@@ -102,6 +106,8 @@ def build_worker(
     hyper: Hyper,
     schedule: Schedule,
     theta0: "Mapping[str, np.ndarray] | None" = None,
+    arena: bool = False,
+    arena_dtype: "object | None" = None,
 ) -> "WorkerNode":
     """One worker node on ``model``, optionally re-seeded to θ0."""
     from ..ps.worker import WorkerNode
@@ -114,7 +120,7 @@ def build_worker(
         worker_id,
         model,
         loader.worker_iterator(worker_id, num_workers),
-        method.make_strategy(shapes, hyper),
+        method.make_strategy(shapes, hyper, arena=arena, arena_dtype=arena_dtype),
         schedule=schedule,
     )
 
@@ -128,6 +134,8 @@ def build_workers(
     schedule: Schedule,
     theta0: "Mapping[str, np.ndarray]",
     first_model: "Module | None" = None,
+    arena: bool = False,
+    arena_dtype: "object | None" = None,
 ) -> "list[WorkerNode]":
     """Stamp out ``num_workers`` replicas, all starting from θ0.
 
@@ -138,7 +146,18 @@ def build_workers(
     for w in range(num_workers):
         model = first_model if (w == 0 and first_model is not None) else model_factory()
         workers.append(
-            build_worker(w, num_workers, model, loader, method, hyper, schedule, theta0=theta0)
+            build_worker(
+                w,
+                num_workers,
+                model,
+                loader,
+                method,
+                hyper,
+                schedule,
+                theta0=theta0,
+                arena=arena,
+                arena_dtype=arena_dtype,
+            )
         )
     return workers
 

@@ -77,13 +77,24 @@ def _worker_main(
     schedule: Schedule,
     seed: int,
     fail_at: "int | None",
+    arena: bool = False,
+    arena_dtype: "object | None" = None,
 ) -> None:
     from ..comm.pipe import PipeChannel  # lazy: comm imports ps
     from ..comm.protocol import run_worker_loop
 
     loader = DataLoader(dataset, batch_size, seed=seed)
     node = build_worker(
-        worker_id, num_workers, model_factory(), loader, method, hyper, schedule, theta0=theta0
+        worker_id,
+        num_workers,
+        model_factory(),
+        loader,
+        method,
+        hyper,
+        schedule,
+        theta0=theta0,
+        arena=arena,
+        arena_dtype=arena_dtype,
     )
 
     def crash_hook(i: int) -> None:
@@ -112,6 +123,8 @@ class ProcessTrainer:
         staleness_damping: bool = False,
         seed: int = 0,
         fail_at: "Mapping[int, int] | None" = None,
+        arena: bool = False,
+        arena_dtype: "object | None" = None,
     ) -> None:
         self.method = resolve_method(method)
         self.hyper = resolve_hyper(hyper)
@@ -122,6 +135,8 @@ class ProcessTrainer:
         self.batch_size = batch_size
         self.iterations_per_worker = iterations_per_worker
         self.seed = seed
+        self.arena = arena
+        self.arena_dtype = arena_dtype
         #: worker id → local iteration at which that worker hard-crashes
         self.fail_at = dict(fail_at) if fail_at else {}
 
@@ -134,6 +149,8 @@ class ProcessTrainer:
             self.hyper,
             secondary_compression=secondary_compression,
             staleness_damping=staleness_damping,
+            arena=arena,
+            arena_dtype=arena_dtype,
         )
 
     def run(self) -> TrainResult:
@@ -162,6 +179,8 @@ class ProcessTrainer:
                     self.schedule,
                     self.seed,
                     self.fail_at.get(w),
+                    self.arena,
+                    self.arena_dtype,
                 ),
                 daemon=True,
             )

@@ -43,10 +43,20 @@ class ParameterServer:
         secondary_ratio: float | None = None,
         secondary_min_sparse_size: int = 256,
         staleness_damping: bool = False,
+        arena: bool = False,
+        arena_dtype: "np.dtype | type | str | None" = None,
     ) -> None:
         if downstream not in ("difference", "model"):
             raise ValueError(f"downstream must be 'difference' or 'model', got {downstream!r}")
-        self.theta0 = OrderedDict((k, v.copy()) for k, v in theta0.items())
+        if arena:
+            # θ0 as an arena too, so global_model() is one fused θ0 + M.
+            from ..core.arena import LayerArena
+
+            self.theta0 = LayerArena.from_layers(
+                theta0, dtype=np.float32 if arena_dtype is None else arena_dtype
+            )
+        else:
+            self.theta0 = OrderedDict((k, v.copy()) for k, v in theta0.items())
         shapes = OrderedDict((k, v.shape) for k, v in theta0.items())
         secondary: Sparsifier | None = (
             TopKSparsifier(secondary_ratio, min_sparse_size=secondary_min_sparse_size)
@@ -59,6 +69,8 @@ class ParameterServer:
             num_workers,
             secondary=secondary,
             track_differences=(downstream == "difference"),
+            arena=arena,
+            dtype=arena_dtype,
         )
         #: byte-accounting sink — *recorded into by the comm channel layer*
         #: (the server applies updates; what they cost on the wire is the

@@ -60,6 +60,8 @@ class ThreadedTrainer:
         seed: int = 0,
         tracer: "Tracer | NullTracer | None" = None,
         wire_fidelity: bool = False,
+        arena: bool = False,
+        arena_dtype: "object | None" = None,
     ) -> None:
         self.method = resolve_method(method)
         self.hyper = resolve_hyper(hyper)
@@ -78,9 +80,19 @@ class ThreadedTrainer:
             self.hyper,
             secondary_compression=secondary_compression,
             staleness_damping=staleness_damping,
+            arena=arena,
+            arena_dtype=arena_dtype,
         )
         self.workers: list[WorkerNode] = build_workers(
-            num_workers, model_factory, loader, self.method, self.hyper, self.schedule, theta0
+            num_workers,
+            model_factory,
+            loader,
+            self.method,
+            self.hyper,
+            self.schedule,
+            theta0,
+            arena=arena,
+            arena_dtype=arena_dtype,
         )
 
         self._loss_lock = threading.Lock()

@@ -89,6 +89,8 @@ class SimulatedTrainer:
         logger: "object | None" = None,
         tracer: "Tracer | NullTracer | None" = None,
         seed: int = 0,
+        arena: bool = False,
+        arena_dtype: "object | None" = None,
     ) -> None:
         self.method = resolve_method(method)
         if total_iterations < 1:
@@ -124,6 +126,8 @@ class SimulatedTrainer:
             self.hyper,
             secondary_compression=secondary_compression,
             staleness_damping=staleness_damping,
+            arena=arena,
+            arena_dtype=arena_dtype,
         )
         # Worker 0 reuses the reference model (its BatchNorm statistics
         # then reflect actual training data for _evaluate_global).
@@ -136,6 +140,8 @@ class SimulatedTrainer:
             self.schedule,
             theta0,
             first_model=ref_model,
+            arena=arena,
+            arena_dtype=arena_dtype,
         )
 
         self.uplink = SharedLink(cluster.uplink)

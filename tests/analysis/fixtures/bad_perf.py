@@ -1,0 +1,30 @@
+"""Deliberately bad module for PERF001: per-layer loops on the hot path.
+
+Never imported — parsed only.  Each loop below iterates whole-model state
+layer by layer where the arena path should run one fused op; the tests
+assert exact finding counts against this file.
+"""
+
+import numpy as np
+
+from repro.core.layerops import gradients_of, parameters_of
+
+__all__ = ["apply_all", "grad_norms", "decay", "collect"]
+
+
+def apply_all(model, update, lr):
+    for name, p in parameters_of(model).items():  # PERF001
+        p -= lr * update[name]
+
+
+def grad_norms(model):
+    return [float(np.linalg.norm(g)) for g in gradients_of(model).values()]  # PERF001
+
+
+def decay(model, factor):
+    for name in parameters_of(model):  # PERF001
+        _ = name, factor
+
+
+def collect(model):
+    return {n: g.copy() for n, g in gradients_of(model).items()}  # PERF001

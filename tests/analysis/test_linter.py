@@ -104,6 +104,44 @@ class TestCommFixture:
         assert list(WireFramingRule().check(module, LintConfig())) == []
 
 
+class TestPerfFixture:
+    PERF_CONFIG = LintConfig(
+        hot_path_prefixes=("",), tensor_mutation_allowed=(),
+        perf_loop_prefixes=("",), perf_loop_allowed=(),
+    )
+
+    def lint(self, name: str):
+        return lint_file(FIXTURES / name, default_rules(), config=self.PERF_CONFIG, root=FIXTURES)
+
+    def test_exact_finding_counts(self):
+        counts = Counter(f.rule for f in self.lint("bad_perf.py"))
+        assert counts == {"PERF001": 4}
+
+    def test_messages_point_at_the_arena(self):
+        messages = [f.message for f in self.lint("bad_perf.py")]
+        assert any("'parameters_of(...)'" in m for m in messages)
+        assert any("'gradients_of(...)'" in m for m in messages)
+        assert all("LayerArena" in m for m in messages)
+
+    def test_silent_on_the_reference_path(self):
+        # core/layerops.py is the dict reference implementation and may loop
+        allowed = LintConfig(
+            hot_path_prefixes=("",), tensor_mutation_allowed=(),
+            perf_loop_prefixes=("",), perf_loop_allowed=("bad_perf.py",),
+        )
+        findings = lint_file(
+            FIXTURES / "bad_perf.py", default_rules(), config=allowed, root=FIXTURES
+        )
+        assert not [f for f in findings if f.rule == "PERF001"]
+
+    def test_silent_outside_scoped_packages(self):
+        # default scoping: only core/, ps/, exec/ are checked
+        findings = lint_file(
+            FIXTURES / "bad_perf.py", default_rules(), config=LintConfig(), root=FIXTURES
+        )
+        assert not [f for f in findings if f.rule == "PERF001"]
+
+
 class TestSuppressionSyntax:
     def test_bare_noqa_suppresses_all(self):
         assert suppressed_rules("x = 1  # repro: noqa") == set()
@@ -141,6 +179,7 @@ def test_rule_index_is_complete():
         "DTY001",
         "TEN001",
         "COM001",
+        "PERF001",
     }
     for rule_id, cls in idx.items():
         assert cls.id == rule_id

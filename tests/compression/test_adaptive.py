@@ -73,4 +73,5 @@ class TestAdaptive:
             out = strat.prepare(OrderedDict([("w", g)]), 0.1)
             sent += out["w"].to_dense()
             total += 0.1 * g
-        np.testing.assert_allclose(sent + strat.residual["w"], total, atol=1e-12)
+        # atol covers float32 wire rounding of the sent values.
+        np.testing.assert_allclose(sent + strat.residual["w"], total, atol=1e-5)

@@ -20,7 +20,8 @@ class TestEncode:
         arr = rng.normal(size=(6, 7))
         arr[np.abs(arr) < 0.8] = 0.0
         st = encode_sparse(arr)
-        np.testing.assert_array_equal(st.to_dense(), arr)
+        # Wire values are float32 (VALUE_BYTES); roundtrip is exact at f32.
+        np.testing.assert_array_equal(st.to_dense(), arr.astype(np.float32))
 
     def test_nnz(self):
         arr = np.array([0.0, 1.0, 0.0, -2.0])
@@ -35,7 +36,7 @@ class TestEncode:
         mask[[2, 5]] = True
         st = encode_mask(arr, mask)
         assert st.nnz == 2
-        np.testing.assert_array_equal(st.values, arr[[2, 5]])
+        np.testing.assert_array_equal(st.values, arr[[2, 5]].astype(np.float32))
 
     def test_encode_mask_keeps_explicit_zeros(self):
         """A masked-in zero still travels (value 0 at that index)."""

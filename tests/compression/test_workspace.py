@@ -1,0 +1,97 @@
+"""KernelWorkspace: buffer reuse, growth, and kernel-result invariance."""
+
+import numpy as np
+
+from repro.compression import (
+    KernelWorkspace,
+    encode_indices,
+    encode_mask,
+    encode_sparse,
+    topk_mask,
+    topk_select,
+    topk_threshold,
+)
+
+
+class TestScratch:
+    def test_reuses_backing_buffer(self):
+        ws = KernelWorkspace()
+        a = ws.scratch("t", 100, np.float64)
+        b = ws.scratch("t", 80, np.float64)
+        assert b.base is a.base or b.base is a  # same allocation, shorter view
+
+    def test_grows_geometrically(self):
+        ws = KernelWorkspace()
+        ws.scratch("t", 100, np.float64)
+        ws.scratch("t", 101, np.float64)  # forces growth: 2*100 > 101
+        assert ws.scratch("t", 180, np.float64).base.size == 200
+
+    def test_keyed_by_tag_and_dtype(self):
+        ws = KernelWorkspace()
+        f = ws.scratch("t", 10, np.float64)
+        b = ws.scratch("t", 10, np.bool_)
+        assert f.dtype == np.float64 and b.dtype == np.bool_
+        assert ws.nbytes() == 10 * 8 + 10 * 1
+
+    def test_clear(self):
+        ws = KernelWorkspace()
+        ws.scratch("t", 10, np.float64)
+        ws.clear()
+        assert ws.nbytes() == 0
+
+
+class TestKernelInvariance:
+    """workspace= must never change a kernel's result, only its allocations."""
+
+    def test_topk_mask(self, rng):
+        arr = rng.normal(size=1000)
+        ws = KernelWorkspace()
+        for ratio in (0.01, 0.1, 0.5, 1.0):
+            np.testing.assert_array_equal(topk_mask(arr, ratio, ws), topk_mask(arr, ratio))
+
+    def test_topk_threshold(self, rng):
+        arr = rng.normal(size=1000)
+        ws = KernelWorkspace()
+        for ratio in (0.01, 0.1, 0.5):
+            assert topk_threshold(arr, ratio, ws) == topk_threshold(arr, ratio)
+
+    def test_topk_select_equals_mask_then_encode(self, rng):
+        ws = KernelWorkspace()
+        for n in (1, 7, 100, 1000):
+            arr = rng.normal(size=n)
+            for ratio in (0.05, 0.3, 1.0):
+                fused = topk_select(arr, ratio, ws)
+                ref = encode_mask(arr, topk_mask(arr, ratio))
+                np.testing.assert_array_equal(fused.indices, ref.indices)
+                np.testing.assert_array_equal(fused.values, ref.values)
+
+    def test_encode_kernels(self, rng):
+        arr = rng.normal(size=500)
+        arr[np.abs(arr) < 1.0] = 0.0
+        ws = KernelWorkspace()
+        a, b = encode_sparse(arr, ws), encode_sparse(arr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+        idx = np.flatnonzero(arr)
+        c = encode_indices(arr, idx, ws, assume_sorted=True)
+        np.testing.assert_array_equal(c.values, b.values)
+
+    def test_outputs_do_not_alias_workspace(self, rng):
+        """SparseTensor values/indices must survive the next kernel call."""
+        ws = KernelWorkspace()
+        arr = rng.normal(size=200)
+        st = topk_select(arr, 0.1, ws)
+        vals, idx = st.values.copy(), st.indices.copy()
+        topk_select(rng.normal(size=200), 0.5, ws)  # stomp the scratch
+        np.testing.assert_array_equal(st.values, vals)
+        np.testing.assert_array_equal(st.indices, idx)
+
+    def test_varying_sizes_through_one_workspace(self, rng):
+        """Per-layer usage: different layer sizes share one workspace."""
+        ws = KernelWorkspace()
+        for n in (1000, 10, 500, 3, 999):
+            arr = rng.normal(size=n)
+            fused = topk_select(arr, 0.3, ws)
+            ref = encode_mask(arr, topk_mask(arr, 0.3))
+            np.testing.assert_array_equal(fused.indices, ref.indices)
+            np.testing.assert_array_equal(fused.values, ref.values)

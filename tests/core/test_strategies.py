@@ -68,7 +68,8 @@ class TestGradientDropping:
                 total_sent[n] += out[n].to_dense()
                 total_grad[n] += lr * g[n]
         for n in SHAPES:
-            np.testing.assert_allclose(total_sent[n] + st.residual[n], total_grad[n], atol=1e-12)
+            # atol covers float32 wire rounding of the sent values.
+            np.testing.assert_allclose(total_sent[n] + st.residual[n], total_grad[n], atol=1e-5)
 
     def test_sends_topk_of_residual(self, rng):
         st = self.make(ratio=0.1)

@@ -61,7 +61,8 @@ class TestEq1to5:
         G = tr.model_difference(0)
         for n in SHAPES:
             G[n].add_into(theta[n])
-            np.testing.assert_allclose(theta[n], tr.M[n], atol=1e-12)
+            # atol covers float32 wire rounding of the downloaded diffs.
+            np.testing.assert_allclose(theta[n], tr.M[n], atol=1e-5)
 
     def test_staleness_counts_interleaved_updates(self, rng):
         tr = ModelDifferenceTracker(SHAPES, 2)

@@ -30,7 +30,8 @@ class TestManyWorkers:
                 tr.model_difference(int(k))["w"].add_into(received[int(k)])
         for k in range(5):
             tr.model_difference(k)["w"].add_into(received[k])
-            np.testing.assert_allclose(received[k], tr.M["w"], atol=1e-12)
+            # atol covers float32 wire rounding of the downloaded diffs.
+            np.testing.assert_allclose(received[k], tr.M["w"], atol=1e-5)
 
     def test_idle_worker_catches_up_in_one_download(self, rng):
         tr = ModelDifferenceTracker(SHAPES, 3)
@@ -40,7 +41,7 @@ class TestManyWorkers:
         assert tr.staleness(2) == 25
         theta = np.zeros(30)
         tr.model_difference(2)["w"].add_into(theta)
-        np.testing.assert_allclose(theta, tr.M["w"], atol=1e-12)
+        np.testing.assert_allclose(theta, tr.M["w"], atol=1e-5)
         assert tr.staleness(2) == 0
 
     def test_per_worker_secondary_backlogs_are_independent(self, rng):

@@ -59,7 +59,8 @@ def test_difference_tracking_equals_model_download(tiny_dataset, tiny_model_fact
     for w in range(3):
         pa, pb = parameters_of(wa[w].model), parameters_of(wb[w].model)
         for name in pa:
-            np.testing.assert_allclose(pa[name], pb[name], atol=1e-12, err_msg=f"worker {w} {name}")
+            # atol covers float32 wire rounding of the exchanged payloads.
+            np.testing.assert_allclose(pa[name], pb[name], atol=1e-5, err_msg=f"worker {w} {name}")
 
 
 def test_dgs_r100_equals_momentum_asgd(tiny_dataset, tiny_model_factory):
@@ -101,7 +102,8 @@ def test_dgs_r100_equals_momentum_asgd(tiny_dataset, tiny_model_factory):
     for w in range(2):
         pa, pb = parameters_of(wa[w].model), parameters_of(wb[w].model)
         for name in pa:
-            np.testing.assert_allclose(pa[name], pb[name], atol=1e-10)
+            # atol covers float32 wire rounding of the exchanged payloads.
+            np.testing.assert_allclose(pa[name], pb[name], atol=1e-5)
 
 
 def test_workers_stay_in_sync_with_server_model(tiny_dataset, tiny_model_factory):
@@ -120,4 +122,5 @@ def test_workers_stay_in_sync_with_server_model(tiny_dataset, tiny_model_factory
         global_model = srv.global_model()
         local = parameters_of(workers[w].model)
         for name in local:
-            np.testing.assert_allclose(local[name], global_model[name], atol=1e-12)
+            # atol covers float32 wire rounding of the exchanged payloads.
+            np.testing.assert_allclose(local[name], global_model[name], atol=1e-5)

@@ -60,13 +60,16 @@ class TestCodingProperties:
     @given(arr=arrays(np.float64, array_shapes(max_dims=3, max_side=12), elements=finite_floats))
     @settings(max_examples=120, deadline=None)
     def test_encode_decode_roundtrip(self, arr):
-        np.testing.assert_array_equal(encode_sparse(arr).to_dense(), arr)
+        # Wire values are float32 (VALUE_BYTES); roundtrip is exact at f32.
+        np.testing.assert_array_equal(encode_sparse(arr).to_dense(), arr.astype(np.float32))
 
     @given(arr=vectors, ratio=ratios)
     @settings(max_examples=80, deadline=None)
     def test_encode_mask_roundtrip_equals_sparsify(self, arr, ratio):
         mask = topk_mask(arr, ratio)
-        np.testing.assert_array_equal(encode_mask(arr, mask).to_dense(), sparsify(arr, mask))
+        np.testing.assert_array_equal(
+            encode_mask(arr, mask).to_dense(), sparsify(arr, mask).astype(np.float32)
+        )
 
     @given(arr=vectors)
     @settings(max_examples=80, deadline=None)

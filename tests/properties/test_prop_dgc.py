@@ -67,4 +67,5 @@ def test_clipping_bounds_injected_mass(grads, clip):
     for g in grads:
         out = strat.prepare(OrderedDict([("w", np.asarray(g))]), lr)
         norm = float(np.linalg.norm(out["w"].to_dense()))
-        assert norm <= lr * clip + 1e-9
+        # Small relative slack: wire values are float32-rounded at encode.
+        assert norm <= lr * clip * (1.0 + 1e-6) + 1e-9

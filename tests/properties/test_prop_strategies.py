@@ -36,7 +36,8 @@ def test_gradient_dropping_mass_conservation(grads, ratio, lr):
         out = strat.prepare(OrderedDict([("w", g)]), lr)
         sent += out["w"].to_dense()
         total += lr * g
-    np.testing.assert_allclose(sent + strat.residual["w"], total, atol=1e-9)
+    # atol covers float32 wire rounding of the sent values.
+    np.testing.assert_allclose(sent + strat.residual["w"], total, atol=1e-3)
 
 
 @given(grads=grad_seqs, lr=lrs, m=momenta)

@@ -48,7 +48,8 @@ def test_final_sync_reconstructs_global_model(upd, syncs):
     for w in (0, 1):
         G = tr.model_difference(w)
         G["w"].add_into(theta[w])
-        np.testing.assert_allclose(theta[w], tr.M["w"], atol=1e-9)
+        # atol covers float32 wire rounding of the downloaded diffs.
+        np.testing.assert_allclose(theta[w], tr.M["w"], atol=1e-3)
 
 
 @given(
