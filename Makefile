@@ -1,11 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke
+.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke
 
-## Static analysis: AST lint + lock discipline + sanitizer self-check.
+## Static analysis: AST lint + lock discipline + lock graph + layering +
+## sanitizer self-check.
 lint:
 	$(PYTHON) -m repro.analysis
+
+## Architecture layering report: every package import edge vs the
+## allowed-dependency matrix and the committed ARCH_baseline.json.
+arch-check:
+	$(PYTHON) -m repro.analysis arch
+
+## Deadlock-detection smoke: the committed ABBA fixture must be caught
+## statically (LCK004) AND dynamically (LockRegistry order inversion).
+concurrency-smoke:
+	$(PYTHON) -m repro.analysis abba-smoke tests/analysis/fixtures/abba.py
 
 ## Tier-1 test suite.
 test:

@@ -1,13 +1,21 @@
 """Static and dynamic correctness tooling for the reproduction.
 
-Three pillars (run together by ``python -m repro.analysis``):
+Four pillars (run together by ``python -m repro.analysis``):
 
 * :mod:`repro.analysis.linter` — repo-specific AST lint rules over
   ``src/repro/**`` (RNG plumbing, mutable defaults, bare except, ``__all__``
-  consistency, hot-path dtype hygiene, ``Tensor.data`` ownership);
-* :mod:`repro.analysis.locks` — static lock discipline for the parameter
-  server, plus :mod:`repro.analysis.race`, the dynamic ThreadSanitizer-lite
-  harness used by the threaded-trainer tests;
+  consistency, hot-path dtype hygiene, ``Tensor.data`` ownership, noqa
+  pragma hygiene);
+* :mod:`repro.analysis.locks` — static lock discipline per class
+  (LCK001–003, bare-acquire LCK006), plus
+  :mod:`repro.analysis.concurrency.lockgraph`, the whole-program
+  lock-acquisition graph (ABBA cycles LCK004, lock-held channel I/O
+  LCK005), and :mod:`repro.analysis.race` /
+  :mod:`repro.analysis.concurrency.runtime`, the dynamic ThreadSanitizer-
+  lite and GoodLock-style order-inversion harnesses;
+* :mod:`repro.analysis.concurrency.arch` — architecture layering
+  (ARC001–002) against the allowed-dependency matrix and the committed
+  ``ARCH_baseline.json``;
 * :mod:`repro.analysis.sanitize` — opt-in NaN/Inf and dtype-drift hooks
   over autograd ops, optimizer steps and compression codecs
   (``python -m repro run <exp> --sanitize``).
@@ -20,7 +28,14 @@ from __future__ import annotations
 from .findings import Finding
 from .linter import LintConfig, Rule, lint_file, lint_tree
 from .locks import check_lock_discipline
-from .race import CheckedLock, GuardedProxy, RaceMonitor, RaceViolation, instrument_server
+from .race import (
+    CheckedLock,
+    GuardedProxy,
+    RaceMonitor,
+    RaceViolation,
+    instrument_object,
+    instrument_server,
+)
 from .sanitize import NumericFault, Sanitizer, sanitize, sanitizer_selfcheck
 
 __all__ = [
@@ -34,6 +49,7 @@ __all__ = [
     "Rule",
     "Sanitizer",
     "check_lock_discipline",
+    "instrument_object",
     "instrument_server",
     "lint_file",
     "lint_tree",
@@ -48,10 +64,18 @@ def run_analysis(
     lint: bool = True,
     locks: bool = True,
     sanitizer: bool = True,
+    arch: bool = True,
     config: "LintConfig | None" = None,
 ) -> "list[Finding]":
-    """Run every enabled pillar over ``root`` (default: the repro package)."""
+    """Run every enabled pillar over ``root`` (default: the repro package).
+
+    The ``locks`` pillar covers both the per-class discipline checker
+    (LCK001–003, LCK006) and the whole-program lock graph (LCK004–005);
+    the ``arch`` pillar enforces the layering matrix (ARC001–002).
+    """
     from pathlib import Path
+
+    from .concurrency import check_architecture, check_lock_graph
 
     if root is None:
         root = str(Path(__file__).resolve().parent.parent)
@@ -60,6 +84,9 @@ def run_analysis(
         findings.extend(lint_tree(root, config=config))
     if locks:
         findings.extend(check_lock_discipline(root))
+        findings.extend(check_lock_graph(root))
+    if arch:
+        findings.extend(check_architecture(root))
     if sanitizer:
         findings.extend(
             Finding("SAN001", "<sanitizer-selfcheck>", 1, problem)

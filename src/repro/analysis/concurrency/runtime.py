@@ -1,0 +1,230 @@
+"""GoodLock-style dynamic lock-order recording.
+
+The static lock graph (:mod:`.lockgraph`) over-approximates: it reports
+cycles that *could* deadlock.  This module under-approximates from a real
+run: a process-wide :class:`LockRegistry` hands out :class:`RegisteredLock`
+instances that timestamp per-thread acquisition nesting, and after the run
+:meth:`LockRegistry.inversions` reports every pair of locks acquired in
+both orders by the whole run — a potential ABBA deadlock *even when no
+deadlock manifested*, because the two threads merely have to interleave
+differently next time.  :meth:`LockRegistry.cycles` generalizes to rings of
+three or more locks.
+
+Locks enroll either directly (``registry.register("ps")``) or by swapping a
+live object's lock in place (``registry.attach(server, "ps")``), the same
+move :func:`repro.analysis.race.instrument_object` performs — pass it a
+registry and race detection and order recording share one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..race import CheckedLock
+
+__all__ = ["LockOrderEdge", "LockOrderInversion", "LockRegistry", "RegisteredLock"]
+
+
+@dataclass(frozen=True)
+class LockOrderEdge:
+    """Witness that one thread acquired ``inner`` while holding ``outer``."""
+
+    outer: str
+    inner: str
+    thread: str
+    seq: int  #: process-wide acquisition sequence number (happens-before order)
+
+    def format(self) -> str:
+        return f"[{self.thread} #{self.seq}] {self.outer} -> {self.inner}"
+
+
+@dataclass(frozen=True)
+class LockOrderInversion:
+    """Two locks acquired in both nesting orders across the run."""
+
+    first: LockOrderEdge  #: witness for ``a -> b``
+    second: LockOrderEdge  #: witness for ``b -> a``
+
+    def format(self) -> str:
+        return (
+            f"lock-order inversion between {self.first.outer!r} and "
+            f"{self.first.inner!r}: {self.first.format()} vs {self.second.format()} "
+            "— a different interleaving deadlocks"
+        )
+
+
+class RegisteredLock(CheckedLock):
+    """A :class:`~repro.analysis.race.CheckedLock` that reports its nesting."""
+
+    def __init__(self, name: str, registry: "LockRegistry") -> None:
+        super().__init__()
+        self.name = name
+        self._registry = registry
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = super().acquire(blocking, timeout)
+        if ok:
+            self._registry._notify_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._registry._notify_release(self)
+        super().release()
+
+    def __enter__(self) -> "RegisteredLock":
+        self.acquire()
+        return self
+
+    def __repr__(self) -> str:
+        return f"RegisteredLock({self.name!r})"
+
+
+class LockRegistry:
+    """Process-wide acquisition-order recorder for every enrolled lock."""
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._held = threading.local()
+        self._locks: "dict[str, RegisteredLock]" = {}
+        #: first witness per ordered pair — one edge per (outer, inner)
+        self._edges: "dict[tuple[str, str], LockOrderEdge]" = {}
+        self._seq = 0
+
+    # -- enrollment ------------------------------------------------------
+
+    def register(self, name: str) -> RegisteredLock:
+        """Create (or return) the registered lock called ``name``."""
+        with self._mu:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = RegisteredLock(name, self)
+                self._locks[name] = lock
+            return lock
+
+    def attach(
+        self, obj: object, name: "str | None" = None, lock_attr: str = "_lock"
+    ) -> RegisteredLock:
+        """Swap ``obj``'s lock for a registered one, in place.
+
+        The object must already own a lock under ``lock_attr`` (the static
+        convention); the replacement is a drop-in ``with``-able lock.
+        """
+        if not hasattr(obj, lock_attr):
+            raise AttributeError(
+                f"{type(obj).__name__} has no {lock_attr!r}; not a lock-owning object"
+            )
+        lock = self.register(name if name is not None else type(obj).__name__)
+        setattr(obj, lock_attr, lock)
+        return lock
+
+    @property
+    def names(self) -> "tuple[str, ...]":
+        with self._mu:
+            return tuple(sorted(self._locks))
+
+    # -- recording hooks (called by RegisteredLock) ----------------------
+
+    def _stack(self) -> "list[RegisteredLock]":
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _notify_acquire(self, lock: RegisteredLock) -> None:
+        stack = self._stack()
+        thread = threading.current_thread().name
+        with self._mu:
+            self._seq += 1
+            seq = self._seq
+            for outer in stack:
+                if outer.name == lock.name:
+                    continue
+                key = (outer.name, lock.name)
+                if key not in self._edges:
+                    self._edges[key] = LockOrderEdge(outer.name, lock.name, thread, seq)
+        stack.append(lock)
+
+    def _notify_release(self, lock: RegisteredLock) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                break
+
+    # -- reporting -------------------------------------------------------
+
+    def order_edges(self) -> "list[LockOrderEdge]":
+        """Every observed nesting edge, in first-witness order."""
+        with self._mu:
+            return sorted(self._edges.values(), key=lambda e: e.seq)
+
+    def inversions(self) -> "list[LockOrderInversion]":
+        """Lock pairs acquired in both orders anywhere in the run."""
+        with self._mu:
+            edges = dict(self._edges)
+        out: list[LockOrderInversion] = []
+        for (a, b), first in sorted(edges.items()):
+            if a < b and (b, a) in edges:
+                out.append(LockOrderInversion(first, edges[(b, a)]))
+        return out
+
+    def cycles(self) -> "list[list[str]]":
+        """Cycles of any length in the observed acquisition-order graph."""
+        with self._mu:
+            adj: dict[str, set[str]] = {}
+            for a, b in self._edges:
+                adj.setdefault(a, set()).add(b)
+                adj.setdefault(b, set())
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        onstack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+        for root in sorted(adj):
+            if root in index:
+                continue
+            work = [(root, iter(sorted(adj[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            onstack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = low[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        onstack.add(w)
+                        work.append((w, iter(sorted(adj[w]))))
+                        advanced = True
+                        break
+                    if w in onstack:
+                        low[node] = min(low[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    low[work[-1][0]] = min(low[work[-1][0]], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        w = stack.pop()
+                        onstack.discard(w)
+                        scc.append(w)
+                        if w == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+        return sorted(sccs)
+
+    def report(self) -> str:
+        """Human-readable summary for smoke tests and debugging."""
+        lines = [e.format() for e in self.order_edges()]
+        for inv in self.inversions():
+            lines.append(inv.format())
+        return "\n".join(lines) or "<no nested acquisitions observed>"

@@ -12,11 +12,16 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-__all__ = ["Finding", "suppressed_rules", "filter_suppressed"]
+__all__ = ["Finding", "UNSUPPRESSABLE_RULES", "suppressed_rules", "filter_suppressed"]
+
+#: rules exempt from noqa suppression — pragma-hygiene findings report on
+#: the pragma itself, which cannot be trusted to silence its own report
+UNSUPPRESSABLE_RULES = frozenset({"NOQ001"})
 
 #: matches ``# repro: noqa`` optionally followed by a rule list
+#: (ids are 3–4 capitals + three digits, e.g. ``DTY001``, ``PERF001``)
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*))?"
+    r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*))?"
 )
 
 
@@ -52,7 +57,7 @@ def filter_suppressed(findings: "list[Finding]", lines: "list[str]") -> "list[Fi
     """Drop findings whose source line carries a matching noqa pragma."""
     kept: list[Finding] = []
     for f in findings:
-        if 1 <= f.line <= len(lines):
+        if f.rule not in UNSUPPRESSABLE_RULES and 1 <= f.line <= len(lines):
             rules = suppressed_rules(lines[f.line - 1])
             if rules is not None and (not rules or f.rule in rules):
                 continue

@@ -18,10 +18,19 @@ class the checker verifies, per method:
 * **LCK003** — a method calls (or reads a property of) another method that
   acquires ``self._lock`` while already holding it: ``threading.Lock`` is
   non-reentrant, so this self-deadlocks.
+* **LCK006** — bare ``self._lock.acquire()`` / ``.release()`` calls (not
+  via ``with``): a release outside a ``finally`` leaks the lock on any
+  exception in between, and an acquire with no release at all in the same
+  method never gives it back.  Statement-level acquire/release pairs *are*
+  tracked as locked regions, so code between them is not double-reported
+  as LCK001.
 
-This is lexical analysis: it sees ``with self._lock:`` blocks, not
-``.acquire()`` gymnastics — which is exactly the discipline the repo
-enforces.  Suppress a finding with ``# repro: noqa LCK001`` on the line.
+The analysis is lexical: it sees ``with self._lock:`` blocks and
+statement-level ``.acquire()``/``.release()`` calls — which is exactly the
+discipline the repo enforces.  Suppress a finding with
+``# repro: noqa LCK001`` on the line.  Cross-*object* lock nesting (ABBA
+deadlocks, lock-held channel blocking) is the whole-program
+:mod:`repro.analysis.concurrency.lockgraph` checker's job (LCK004/LCK005).
 """
 
 from __future__ import annotations
@@ -96,6 +105,9 @@ class _MethodFacts:
     touches: "list[tuple[ast.AST, str, bool]]" = field(default_factory=list)
     #: intra-class calls/property reads: (ast node, method name, under_lock)
     calls: "list[tuple[ast.AST, str, bool]]" = field(default_factory=list)
+    #: bare ``self._lock.acquire()`` / ``.release()`` call nodes (LCK006)
+    bare_acquires: "list[ast.Call]" = field(default_factory=list)
+    bare_releases: "list[ast.Call]" = field(default_factory=list)
 
 
 class _ClassAnalysis:
@@ -158,6 +170,21 @@ class _ClassAnalysis:
     def _is_lock_with(self, node: ast.With) -> bool:
         return any(_self_attr(item.context_expr) == self.lock_attr for item in node.items)
 
+    def _bare_lock_call(self, node: ast.AST, op: str) -> "ast.Call | None":
+        """``self.<lock>.acquire()`` / ``.release()`` as a statement's call."""
+        if isinstance(node, ast.Expr):
+            node = node.value
+        elif isinstance(node, ast.Assign):
+            node = node.value
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == op
+            and _self_attr(node.func.value) == self.lock_attr
+        ):
+            return node
+        return None
+
     def _analyze_method(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> _MethodFacts:
         facts = _MethodFacts(
             node=fn,
@@ -170,8 +197,7 @@ class _ClassAnalysis:
                 facts.acquires_lock = True
                 for item in node.items:
                     visit(item, under)
-                for child in node.body:
-                    visit(child, True)
+                visit_block(node.body, True)
                 return
             if isinstance(node, ast.Call):
                 callee = _self_attr(node.func)
@@ -193,8 +219,48 @@ class _ClassAnalysis:
             for child in ast.iter_child_nodes(node):
                 visit(child, under)
 
-        for stmt in fn.body:
-            visit(stmt, False)
+        def visit_stmt(node: ast.stmt, under: bool) -> bool:
+            """Visit one statement; return the lock state *after* it.
+
+            Statement-level ``acquire()``/``release()`` toggle the lexical
+            lock state so bare-locked regions are not misreported as
+            LCK001; the calls themselves are recorded for LCK006.
+            """
+            acquire = self._bare_lock_call(node, "acquire")
+            if acquire is not None:
+                facts.acquires_lock = True
+                facts.bare_acquires.append(acquire)
+                return True
+            release = self._bare_lock_call(node, "release")
+            if release is not None:
+                facts.bare_releases.append(release)
+                return False
+            if isinstance(node, ast.Try):
+                after_body = visit_block(node.body, under)
+                for handler in node.handlers:
+                    visit_block(handler.body, under)
+                visit_block(node.orelse, after_body)
+                return visit_block(node.finalbody, after_body)
+            if isinstance(node, (ast.If, ast.While)):
+                visit(node.test, under)
+                visit_block(node.body, under)
+                visit_block(node.orelse, under)
+                return under
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                visit(node.target, under)
+                visit(node.iter, under)
+                visit_block(node.body, under)
+                visit_block(node.orelse, under)
+                return under
+            visit(node, under)
+            return under
+
+        def visit_block(stmts: "Sequence[ast.stmt]", under: bool) -> bool:
+            for stmt in stmts:
+                under = visit_stmt(stmt, under)
+            return under
+
+        visit_block(fn.body, False)
         return facts
 
     # ------------------------------------------------------------------
@@ -256,6 +322,39 @@ class _ClassAnalysis:
                     f"holding self.{self.lock_attr}",
                     n.col_offset,
                 )
+        # Bare acquire/release hygiene (LCK006).
+        for name, f in self.facts.items():
+            if not f.bare_acquires and not f.bare_releases:
+                continue
+            finally_ids = {
+                id(n)
+                for t in ast.walk(f.node)
+                if isinstance(t, ast.Try)
+                for stmt in t.finalbody
+                for n in ast.walk(stmt)
+            }
+            for call in f.bare_releases:
+                if id(call) not in finally_ids:
+                    yield Finding(
+                        "LCK006",
+                        path,
+                        call.lineno,
+                        f"{cname}.{name} releases self.{self.lock_attr} outside "
+                        "a finally block — an exception before the release "
+                        "leaks the lock (use `with self."
+                        f"{self.lock_attr}:` or try/finally)",
+                        call.col_offset,
+                    )
+            if f.bare_acquires and not f.bare_releases:
+                for call in f.bare_acquires:
+                    yield Finding(
+                        "LCK006",
+                        path,
+                        call.lineno,
+                        f"{cname}.{name} acquires self.{self.lock_attr} with a "
+                        "bare .acquire() and never releases it in this method",
+                        call.col_offset,
+                    )
         # Non-reentrant self-deadlock: locked context calls a lock-taker.
         for caller, f in self.facts.items():
             for node, callee, under in f.calls:

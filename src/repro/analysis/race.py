@@ -27,14 +27,16 @@ __all__ = [
     "RaceMonitor",
     "RaceViolation",
     "GuardedProxy",
+    "instrument_object",
     "instrument_server",
     "SERVER_GUARDED_ATTRS",
 ]
 
-#: ParameterServer attributes wrapped by default.  ``stats`` is not here:
-#: byte accounting moved into the channel layer (``repro.comm``), which
-#: records into a self-synchronising ``CompressionStats`` outside the
-#: server lock by design.
+#: Legacy alias for :attr:`repro.ps.server.ParameterServer.__guarded_attrs__`
+#: — the per-class declaration is the source of truth now (``stats`` is
+#: deliberately absent there: byte accounting moved into the channel layer,
+#: which records into a self-synchronising ``CompressionStats`` outside the
+#: server lock by design).
 SERVER_GUARDED_ATTRS = ("tracker", "staleness_meter")
 
 
@@ -151,29 +153,65 @@ class GuardedProxy:
         return f"GuardedProxy({object.__getattribute__(self, '_gp_obj')!r})"
 
 
+def instrument_object(
+    obj: object,
+    attrs: "Sequence[str] | None" = None,
+    monitor: "RaceMonitor | None" = None,
+    name: "str | None" = None,
+    registry: "object | None" = None,
+    lock_attr: str = "_lock",
+) -> RaceMonitor:
+    """Instrument any lock-owning object for dynamic race detection.
+
+    Replaces ``obj.<lock_attr>`` with a :class:`CheckedLock` and wraps each
+    guarded attribute in a :class:`GuardedProxy`.  Guarded attributes come
+    from, in priority order: the ``attrs`` argument, the class's
+    ``__guarded_attrs__`` declaration (shared with the static checker —
+    see :func:`repro.analysis.concurrency.guarded_attrs_of`), or nothing.
+
+    Pass a :class:`repro.analysis.concurrency.LockRegistry` as ``registry``
+    and the swapped-in lock is also enrolled for lock-order recording, so
+    one instrumented run yields both race violations and order inversions::
+
+        monitor = instrument_object(trainer.server, registry=registry)
+        trainer.run()
+        assert not monitor.violations, monitor.report()
+        assert not registry.inversions(), registry.report()
+    """
+    if not hasattr(obj, lock_attr):
+        raise AttributeError(
+            f"{type(obj).__name__} has no {lock_attr!r}; not a lock-owning object"
+        )
+    monitor = monitor if monitor is not None else RaceMonitor()
+    label = name if name is not None else type(obj).__name__
+    if registry is not None:
+        lock = registry.attach(obj, label, lock_attr=lock_attr)
+    else:
+        lock = CheckedLock()
+        setattr(obj, lock_attr, lock)
+    if attrs is not None:
+        selected: Iterable[str] = attrs
+    else:
+        from .concurrency.registry import guarded_attrs_of
+
+        declared = guarded_attrs_of(type(obj))
+        selected = [a for a in (declared or ()) if hasattr(obj, a)]
+    for a in selected:
+        setattr(obj, a, GuardedProxy(getattr(obj, a), lock, monitor, a))
+    return monitor
+
+
 def instrument_server(
     server: object,
     attrs: "Sequence[str] | None" = None,
     monitor: "RaceMonitor | None" = None,
 ) -> RaceMonitor:
-    """Instrument a live server for dynamic race detection, in place.
+    """Instrument a live parameter server, in place.
 
-    Replaces ``server._lock`` with a :class:`CheckedLock` and wraps each
-    attribute in ``attrs`` (default :data:`SERVER_GUARDED_ATTRS`, filtered
-    to those present) in a :class:`GuardedProxy`.  Returns the monitor to
-    assert on after the run::
-
-        trainer = ThreadedTrainer(...)
-        monitor = instrument_server(trainer.server)
-        trainer.run()
-        assert not monitor.violations, monitor.report()
+    Thin wrapper over :func:`instrument_object` kept for the existing race
+    harness; falls back to :data:`SERVER_GUARDED_ATTRS` when the server's
+    class carries no ``__guarded_attrs__`` declaration.
     """
-    monitor = monitor if monitor is not None else RaceMonitor()
-    lock = CheckedLock()
-    server._lock = lock  # type: ignore[attr-defined]
-    selected: Iterable[str] = (
-        attrs if attrs is not None else [a for a in SERVER_GUARDED_ATTRS if hasattr(server, a)]
-    )
-    for a in selected:
-        setattr(server, a, GuardedProxy(getattr(server, a), lock, monitor, a))
-    return monitor
+    if attrs is None and getattr(type(server), "__guarded_attrs__", None) is None:
+        attrs = [a for a in SERVER_GUARDED_ATTRS if hasattr(server, a)]
+    return instrument_object(server, attrs=attrs, monitor=monitor)

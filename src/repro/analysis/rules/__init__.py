@@ -13,11 +13,12 @@ from .comm import WireFramingRule
 from .dtype import MissingDtypeRule
 from .perf import PerLayerLoopRule
 from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
+from .pragma import PragmaHygieneRule
 from .randomness import ModuleLevelRNGRule
 from .style import BareExceptRule, MutableDefaultRule
 from .tensor import TensorDataMutationRule
 
-__all__ = ["RULE_CLASSES", "default_rules", "rule_index"]
+__all__ = ["RULE_CLASSES", "default_rules", "known_rule_ids", "rule_index"]
 
 #: every registered rule class, in reporting order
 RULE_CLASSES: "tuple[type[Rule], ...]" = (
@@ -31,7 +32,28 @@ RULE_CLASSES: "tuple[type[Rule], ...]" = (
     TensorDataMutationRule,
     WireFramingRule,
     PerLayerLoopRule,
+    PragmaHygieneRule,
 )
+
+#: rule ids reported by the non-lint pillars (lock discipline, lock graph,
+#: layering, sanitizer, parse errors) — they have no Rule class
+EXTRA_RULE_IDS: "tuple[str, ...]" = (
+    "LCK001",
+    "LCK002",
+    "LCK003",
+    "LCK004",
+    "LCK005",
+    "LCK006",
+    "ARC001",
+    "ARC002",
+    "SAN001",
+    "PAR001",
+)
+
+
+def known_rule_ids() -> "frozenset[str]":
+    """Every rule id the suite can report (lint rules + pillar rules)."""
+    return frozenset(rule_index()) | frozenset(EXTRA_RULE_IDS)
 
 
 def default_rules() -> "list[Rule]":

@@ -1,0 +1,76 @@
+"""NOQ001 — hygiene of ``# repro: noqa`` suppression pragmas.
+
+A suppression pragma that silently does the wrong thing is worse than a
+finding: ``# repro: noqa lck001`` parses as a *bare* noqa (the rule list
+is malformed) and suppresses every rule on the line, and ``# repro: noqa
+ABC999`` suppresses nothing anyone checks.  This rule scans real comment
+tokens (``tokenize``, so rule ids quoted in docstrings don't trip it) and
+reports:
+
+* a pragma naming a rule id the suite does not know;
+* a pragma whose trailing text looks like an attempted rule list but does
+  not parse as one — the dangerous silent-bare-noqa case.
+
+NOQ001 findings are themselves exempt from noqa suppression (the pragma
+being reported cannot be trusted to suppress its own report).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterator
+
+from ..findings import _NOQA_RE, Finding
+from ..linter import LintConfig, ModuleInfo, Rule
+
+__all__ = ["PragmaHygieneRule"]
+
+#: trailing text that was probably meant as a rule list (``lck001``,
+#: ``, LCK1`` …) but failed to parse as ``[A-Z]{3}\d{3}``
+_RULEISH_RE = re.compile(r"\s*,?\s*[A-Za-z]{2,5}[-_]?\d{1,4}\b")
+
+
+class PragmaHygieneRule(Rule):
+    id = "NOQ001"
+    summary = "suppression pragma is malformed or names an unknown rule"
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        from . import known_rule_ids
+
+        known = known_rule_ids()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(module.source).readline))
+        except (tokenize.TokenError, IndentationError):
+            return  # PAR001 territory
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if m is None:
+                continue
+            line = tok.start[0]
+            listed = m.group("rules")
+            if listed is not None:
+                for code in (r.strip() for r in listed.split(",")):
+                    if code not in known:
+                        yield Finding(
+                            self.id,
+                            module.path,
+                            line,
+                            f"noqa pragma names unknown rule {code!r} — "
+                            "it suppresses nothing (see --list-rules)",
+                            tok.start[1],
+                        )
+            trailing = tok.string[m.end() :]
+            if _RULEISH_RE.match(trailing):
+                yield Finding(
+                    self.id,
+                    module.path,
+                    line,
+                    f"noqa pragma has unparseable rule list {trailing.strip()!r} — "
+                    "it silently became a bare noqa suppressing every rule "
+                    "(rule ids are 3-4 capitals + three digits)",
+                    tok.start[1],
+                )

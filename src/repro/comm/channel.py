@@ -67,6 +67,12 @@ class ServerService:
     def __call__(self, frame: GradientFrame):
         return reply_frame(self.server.handle(frame.message))
 
+    def register_locks(self, registry) -> None:
+        """Enroll every lock this service can acquire in a lock-order
+        :class:`~repro.analysis.concurrency.LockRegistry` (today: the
+        server lock; sharded servers will add one entry per shard)."""
+        self.server.register_lock(registry)
+
 
 class InProcChannel:
     """Same-process channel: ``send`` dispatches to the service in place.

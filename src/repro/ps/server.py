@@ -35,6 +35,13 @@ __all__ = ["ParameterServer"]
 class ParameterServer:
     """PS node: applies worker updates, answers with model state."""
 
+    #: attributes ``self._lock`` protects — the single source of truth
+    #: shared by the static checker and the dynamic race instrumentation
+    #: (:func:`repro.analysis.race.instrument_object`).  ``stats`` is
+    #: deliberately absent: byte accounting is recorded by the channel
+    #: layer into a self-synchronising ``CompressionStats``.
+    __guarded_attrs__ = ("tracker", "staleness_meter")
+
     def __init__(
         self,
         theta0: "Mapping[str, np.ndarray]",
@@ -166,3 +173,14 @@ class ParameterServer:
             return self.tracker.server_state_bytes() + sum(
                 a.nbytes for a in self.theta0.values()
             )
+
+    # ------------------------------------------------------------------
+    def register_lock(self, registry, name: str = "ps") -> None:
+        """Enroll the server lock in a lock-order :class:`LockRegistry`.
+
+        After this call every acquisition of the server lock is nesting-
+        timestamped, so a run under the registry reports order inversions
+        against any other enrolled lock (shards, group leaders, channels).
+        See :mod:`repro.analysis.concurrency.runtime`.
+        """
+        registry.attach(self, name)

@@ -1,0 +1,64 @@
+"""Fixture: classic ABBA deadlock between two lock-owning classes.
+
+``Ledger.transfer`` calls ``Auditor.observe`` while holding the ledger
+lock; ``Auditor.reconcile`` calls ``Ledger.balance`` while holding the
+auditor lock.  Statically that is a cycle in the lock-acquisition graph
+(exactly one LCK004 finding); dynamically, ``drive`` exercises both
+nesting orders so a :class:`repro.analysis.concurrency.LockRegistry`
+records a lock-order inversion even though the sequential schedule never
+deadlocks.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Ledger:
+    def __init__(self, auditor: "Auditor | None" = None) -> None:
+        self.entries: "list[float]" = []
+        self.auditor = auditor
+        self._lock = threading.Lock()
+
+    def balance(self) -> float:
+        with self._lock:
+            return sum(self.entries)
+
+    def transfer(self, amount: float) -> None:
+        with self._lock:
+            self.entries.append(amount)
+            if self.auditor is not None:
+                self.auditor.observe(amount)
+
+
+class Auditor:
+    def __init__(self) -> None:
+        self.seen: "list[float]" = []
+        self.ledger: "Ledger | None" = None
+        self._lock = threading.Lock()
+
+    def observe(self, amount: float) -> None:
+        with self._lock:
+            self.seen.append(amount)
+
+    def reconcile(self) -> float:
+        with self._lock:
+            assert self.ledger is not None
+            return self.ledger.balance() - sum(self.seen)
+
+
+def drive(registry) -> "tuple[Ledger, Auditor]":
+    """Run both nesting orders under a LockRegistry (sequentially — the
+    inversion is recorded from order alone, no deadlock required)."""
+    auditor = Auditor()
+    ledger = Ledger(auditor)
+    auditor.ledger = ledger
+    registry.attach(ledger, "ledger")
+    registry.attach(auditor, "auditor")
+    t1 = threading.Thread(target=ledger.transfer, args=(1.0,), name="transfer")
+    t1.start()
+    t1.join()
+    t2 = threading.Thread(target=auditor.reconcile, name="reconcile")
+    t2.start()
+    t2.join()
+    return ledger, auditor

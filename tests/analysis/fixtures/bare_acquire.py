@@ -1,0 +1,38 @@
+"""Fixture: bare ``.acquire()`` / ``.release()`` lock usage (LCK006).
+
+Two findings, exactly:
+
+* ``Tally.add`` releases outside any ``finally`` — an exception between
+  acquire and release leaks the lock.
+* ``Tally.leak`` acquires and never releases in the method.
+
+``Tally.safe`` uses try/finally correctly — no finding, and the guarded
+mutation between acquire and release must NOT be reported as LCK001
+(the checker tracks bare-locked regions).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self.total = 0
+        self._lock = threading.Lock()
+
+    def add(self, n: int) -> None:
+        self._lock.acquire()
+        self.total += n
+        self._lock.release()  # not in a finally: leaks on exception
+
+    def leak(self) -> int:
+        self._lock.acquire()
+        return self.total
+
+    def safe(self, n: int) -> None:
+        self._lock.acquire()
+        try:
+            self.total += n
+        finally:
+            self._lock.release()

@@ -1,0 +1,52 @@
+"""Fixture: channel send/recv reachable while a lock is held (LCK005).
+
+Three findings, exactly:
+
+* ``Publisher.push`` sends on the channel inside ``with self._lock`` —
+  direct.
+* ``Publisher.pull`` recvs inside the locked region — direct.
+* ``Publisher.flush`` calls the private helper ``_drain`` under the lock,
+  and the helper sends — one finding *through the call graph*.
+
+``Publisher.safe_push`` snapshots under the lock and sends outside it —
+the approved pattern, no finding.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Publisher:
+    def __init__(self, channel) -> None:
+        self.pending: "list[bytes]" = []
+        self.channel = channel
+        self._lock = threading.Lock()
+
+    def push(self, item: bytes) -> None:
+        with self._lock:
+            self.pending.append(item)
+            self.channel.send(item)  # blocks while holding the lock
+
+    def pull(self) -> bytes:
+        with self._lock:
+            item = self.channel.recv()  # blocks while holding the lock
+            self.pending.append(item)
+            return item
+
+    def flush(self) -> None:
+        with self._lock:
+            self._drain()
+
+    def _drain(self) -> None:
+        for item in self.pending:
+            self.channel.send(item)
+        self.pending.clear()
+
+    def safe_push(self, item: bytes) -> None:
+        with self._lock:
+            self.pending.append(item)
+            snapshot = list(self.pending)
+            channel = self.channel
+        for it in snapshot:
+            channel.send(it)

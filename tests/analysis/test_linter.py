@@ -180,6 +180,7 @@ def test_rule_index_is_complete():
         "TEN001",
         "COM001",
         "PERF001",
+        "NOQ001",
     }
     for rule_id, cls in idx.items():
         assert cls.id == rule_id

@@ -52,6 +52,31 @@ class TestGoodServer:
         assert "_put_locked" in source
 
 
+class TestBareAcquire:
+    """LCK006: bare .acquire()/.release() instead of ``with``."""
+
+    def test_exact_finding_counts(self):
+        counts = Counter(f.rule for f in check_fixture("bare_acquire.py"))
+        assert counts == {"LCK006": 2}
+
+    def test_release_outside_finally_flagged(self):
+        findings = [f for f in check_fixture("bare_acquire.py") if "finally" in f.message]
+        (f,) = findings
+        assert "add" in f.message and "leaks the lock" in f.message
+
+    def test_acquire_never_released_flagged(self):
+        findings = [f for f in check_fixture("bare_acquire.py") if "never releases" in f.message]
+        (f,) = findings
+        assert "leak" in f.message
+
+    def test_try_finally_pattern_accepted(self):
+        # Tally.safe acquires bare but releases in a finally: no finding,
+        # and the guarded mutation between acquire/release is not LCK001.
+        rules = {f.rule for f in check_fixture("bare_acquire.py")}
+        assert rules == {"LCK006"}
+        assert all("safe" not in f.message for f in check_fixture("bare_acquire.py"))
+
+
 class TestDiscovery:
     def test_only_lock_owning_classes_enroll(self):
         module = load_module(FIXTURES / "bad_locks.py", root=FIXTURES)

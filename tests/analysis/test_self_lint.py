@@ -55,17 +55,30 @@ def test_cli_rejects_unknown_select_rule():
     assert exc.value.code == 2
 
 
-def test_cli_json_format_is_parseable(capsys):
+def test_cli_json_format_is_jsonl(capsys):
+    # one JSON object per line so CI/editors can stream-parse findings
     main([str(FIXTURES), "--no-sanitize", "--format", "json"])
-    payload = json.loads(capsys.readouterr().out)
-    assert isinstance(payload, list) and payload
-    assert {"rule", "path", "line", "col", "message"} <= set(payload[0])
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines
+    findings = [json.loads(line) for line in lines]
+    for f in findings:
+        assert {"rule", "path", "line", "col", "message"} <= set(f)
+    assert any(f["rule"] == "LCK004" for f in findings)  # lock graph included
+
+
+def test_cli_human_format_is_default(capsys):
+    main([str(FIXTURES), "--no-sanitize"])
+    out = capsys.readouterr().out
+    assert "finding(s) — FAILED" in out  # summary line, not JSON
+    first = out.splitlines()[0]
+    with pytest.raises(json.JSONDecodeError):
+        json.loads(first)
 
 
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("RNG001", "DTY001", "TEN001", "LCK001", "SAN001"):
+    for rule in ("RNG001", "DTY001", "TEN001", "LCK001", "LCK004", "LCK006", "ARC001", "NOQ001", "SAN001"):
         assert rule in out
 
 
