@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke
+.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke run-report-smoke
 
 ## Static analysis: AST lint + lock discipline + lock graph + layering +
 ## sanitizer self-check.
@@ -42,6 +42,18 @@ backend-matrix:
 ## type round-tripped over a real OS pipe.
 comm-smoke:
 	$(PYTHON) -m repro.comm
+
+## Run-telemetry pipeline smoke: a traced 2-worker *process* run writes a
+## run dir (manifest + metrics + merged multi-process trace), the report
+## renders, the health gate passes on sane SLOs — and must FAIL on an
+## impossible staleness SLO (the gate actually gates).
+run-report-smoke:
+	rm -rf .run-smoke
+	$(PYTHON) -m repro.obs run-smoke --runs-dir .run-smoke --run-id ci --workers 2
+	$(PYTHON) -m repro.obs report .run-smoke/ci
+	$(PYTHON) -m repro.obs check .run-smoke/ci --max-staleness-p99 64 --min-samples-per-sec 1
+	! $(PYTHON) -m repro.obs check .run-smoke/ci --max-staleness-p99 -1
+	rm -rf .run-smoke
 
 ## Traced 2-worker threaded + simulated runs, then validate the export
 ## (repro.obs convert exits non-zero on any schema violation).

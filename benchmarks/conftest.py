@@ -11,15 +11,26 @@ Every bench:
 
 Set ``REPRO_SCALE=fast`` for a ~2-minute smoke pass; the default full pass
 takes ~15–25 minutes single-core.
+
+Every bench also writes a run manifest (``benchmarks/results/runs/<slug>/``,
+see ``repro.obs.runs``) summarising the *last* distributed run of the
+campaign — inspect with ``python -m repro.obs report|compare|check``.  Set
+``REPRO_RUN_MANIFESTS=0`` to disable.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RUNS_DIR = RESULTS_DIR / "runs"
+
+
+def _manifests_enabled() -> bool:
+    return os.environ.get("REPRO_RUN_MANIFESTS", "1") not in ("0", "false", "off")
 
 
 @pytest.fixture
@@ -27,12 +38,28 @@ def run_experiment(benchmark, capsys):
     """Run one experiment module once, print + persist its report."""
 
     def runner(module, slug: str, **kwargs):
-        report = benchmark.pedantic(module.run, kwargs=kwargs, rounds=1, iterations=1)
+        from repro.exec import collect_results
+
+        with collect_results() as collected:
+            report = benchmark.pedantic(module.run, kwargs=kwargs, rounds=1, iterations=1)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{slug}.md").write_text(report.markdown() + "\n")
         (RESULTS_DIR / f"{slug}.txt").write_text(report.render() + "\n")
         for name, svg in report.svgs.items():
             (RESULTS_DIR / f"{slug}_{name}.svg").write_text(svg)
+        if _manifests_enabled() and collected:
+            from repro.obs import write_run_dir
+
+            # Fixed run_id=slug: regenerating a bench overwrites its manifest,
+            # so results/runs/ always mirrors the latest campaign.
+            config, result = collected[-1]
+            write_run_dir(
+                RUNS_DIR,
+                result,
+                config=config.describe(),
+                run_id=slug,
+                extra_meta={"bench": slug, "num_runs": len(collected)},
+            )
         with capsys.disabled():
             print("\n" + report.render() + "\n")
         return report

@@ -66,6 +66,13 @@ def main(argv: list[str] | None = None) -> int:
         "| simulated | sync); default: the simulated virtual cluster. "
         "Wall-clock backends ignore the experiments' bandwidth settings",
     )
+    run_p.add_argument(
+        "--run-dir",
+        metavar="DIR",
+        help="write a run manifest under DIR/<run_id>/ (manifest.json + "
+        "metrics.jsonl, plus trace.json when --trace is active); inspect "
+        "with 'python -m repro.obs report|compare|check'",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -92,7 +99,13 @@ def main(argv: list[str] | None = None) -> int:
         tracer = Tracer(meta={"experiments": " ".join(names), "fast": bool(args.fast)})
         obs_scope.enter_context(use_tracer(tracer))
         obs_scope.enter_context(profile_hot_paths())
+    collected = []
+    if args.run_dir:
+        from .exec import collect_results
+
+        collected = obs_scope.enter_context(collect_results())
     reports = []
+    wall_t0 = time.perf_counter()
     with obs_scope:
         for name in names:
             module, desc = EXPERIMENTS[name]
@@ -105,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
             print(report.render())
             print(f"[{name}: {elapsed:.1f}s]\n", file=sys.stderr)
             reports.append(report)
+    wall_elapsed = time.perf_counter() - wall_t0
 
     if tracer is not None:
         from .obs import render_summary, write_chrome_trace
@@ -116,6 +130,34 @@ def main(argv: list[str] | None = None) -> int:
             write_chrome_trace(args.trace, records)
         print(render_summary(records), file=sys.stderr)
         print(f"wrote trace to {args.trace}", file=sys.stderr)
+
+    if args.run_dir:
+        from .obs import write_run_dir
+
+        if not collected:
+            print("no distributed runs collected; skipping --run-dir", file=sys.stderr)
+        else:
+            # The manifest's headline result is the *last* distributed run
+            # (experiments sweep many configs; the last is the full-scale
+            # one); every collected run is summarised in run_configs.
+            last_config, last_result = collected[-1]
+            run_dir = write_run_dir(
+                args.run_dir,
+                last_result,
+                config=last_config.describe(),
+                records=tracer.records() if tracer is not None else None,
+                extra_meta={
+                    "experiments": names,
+                    "fast": bool(args.fast),
+                    "cli_wall_s": wall_elapsed,
+                    "num_runs": len(collected),
+                    "run_configs": [cfg.describe() for cfg, _ in collected],
+                },
+            )
+            print(
+                f"wrote run manifest to {run_dir} ({len(collected)} distributed runs)",
+                file=sys.stderr,
+            )
 
     if args.out:
         with open(args.out, "w") as fh:

@@ -37,7 +37,7 @@ __all__ = [
 #: deliberately absent there: byte accounting moved into the channel layer,
 #: which records into a self-synchronising ``CompressionStats`` outside the
 #: server lock by design).
-SERVER_GUARDED_ATTRS = ("tracker", "staleness_meter")
+SERVER_GUARDED_ATTRS = ("tracker", "staleness_meter", "worker_staleness")
 
 
 class CheckedLock:

@@ -13,6 +13,7 @@ from .comm import WireFramingRule
 from .dtype import MissingDtypeRule
 from .perf import PerLayerLoopRule
 from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
+from .obs import TelemetryNameRule
 from .pragma import PragmaHygieneRule
 from .randomness import ModuleLevelRNGRule
 from .style import BareExceptRule, MutableDefaultRule
@@ -31,6 +32,7 @@ RULE_CLASSES: "tuple[type[Rule], ...]" = (
     MissingDtypeRule,
     TensorDataMutationRule,
     WireFramingRule,
+    TelemetryNameRule,
     PerLayerLoopRule,
     PragmaHygieneRule,
 )

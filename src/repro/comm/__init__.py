@@ -25,6 +25,7 @@ from .frames import (
     Frame,
     GradientFrame,
     ModelFrame,
+    TelemetryFrame,
     decode_frame,
     encode_frame,
     reply_frame,
@@ -45,6 +46,7 @@ __all__ = [
     "DiffFrame",
     "ModelFrame",
     "CloseFrame",
+    "TelemetryFrame",
     "encode_frame",
     "decode_frame",
     "reply_frame",

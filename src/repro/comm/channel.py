@@ -27,8 +27,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Protocol
 
 from ..compression.stats import CompressionStats
+from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
-from .frames import CloseFrame, Frame, GradientFrame, decode_frame, encode_frame, reply_frame
+from .frames import (
+    CloseFrame,
+    Frame,
+    GradientFrame,
+    TelemetryFrame,
+    decode_frame,
+    encode_frame,
+    reply_frame,
+)
 
 if TYPE_CHECKING:
     from ..ps.server import ParameterServer
@@ -98,6 +107,8 @@ class InProcChannel:
         self.tracer = tracer
         #: the worker's final close frame (accounting source for trainers)
         self.close_frame: "CloseFrame | None" = None
+        #: telemetry shipped before close (unused in-process; kept for parity)
+        self.telemetry_frame: "TelemetryFrame | None" = None
         self._pending: "Frame | None" = None
         self._closed = False
 
@@ -113,12 +124,15 @@ class InProcChannel:
         if isinstance(frame, CloseFrame):
             self.close_frame = frame
             return
+        if isinstance(frame, TelemetryFrame):
+            self.telemetry_frame = frame
+            return
         if not isinstance(frame, GradientFrame):
             raise TypeError(f"worker endpoints send gradient/close frames, not {type(frame).__name__}")
         tracer = self._tracer()
         if tracer.enabled:
             with tracer.span(
-                "comm.send",
+                obs_names.COMM_SEND,
                 cat="comm",
                 worker=self.worker_id,
                 bytes=frame.nbytes(),
@@ -146,7 +160,7 @@ class InProcChannel:
         tracer = self._tracer()
         if tracer.enabled:
             with tracer.span(
-                "comm.recv",
+                obs_names.COMM_RECV,
                 cat="comm",
                 worker=self.worker_id,
                 bytes=frame.nbytes(),

@@ -22,9 +22,19 @@ process backend used to hand-roll::
     kind 1/2 : staleness i32 | codec message               (diff / model)
     kind 3   : worker i32 | samples i64 | state_bytes i64 |
                err_len u16 | err utf-8                     (close)
+    kind 4   : worker i32 | body_len u32 | utf-8 JSON      (telemetry)
 
 (`-1` in the close accounting fields means "not reported"; a zero-length
 error means "no error", so an empty error string normalises to ``None``.)
+
+:class:`TelemetryFrame` (kind 4) is the observability side channel: a
+worker process ships its tracer spans and metric snapshots back to the
+parent just before its close frame, so a process-backend ``--trace`` run
+yields one merged trace instead of a parent-only view.  The body is the
+JSON object ``{"spans": [...], "metrics": [...]}`` in the
+``repro.obs.span`` record schema.  Telemetry is diagnostic, not payload:
+``nbytes()`` is 0 so analytic byte accounting (what DGS compresses) is
+unchanged, while the raw wire counters still see every byte.
 
 Frames also carry the *analytic* byte accounting every backend reports
 (:meth:`nbytes` / :meth:`dense_nbytes`), so ``TrainResult`` byte fields
@@ -34,8 +44,10 @@ boundary, or a simulated link.
 
 from __future__ import annotations
 
+import json
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from ..ps.codec import decode_message, encode_message
 from ..ps.messages import DiffMessage, GradientMessage, ModelMessage
@@ -47,6 +59,7 @@ __all__ = [
     "DiffFrame",
     "ModelFrame",
     "CloseFrame",
+    "TelemetryFrame",
     "reply_frame",
     "encode_frame",
     "decode_frame",
@@ -64,6 +77,9 @@ _KIND_GRADIENT = 0
 _KIND_DIFF = 1
 _KIND_MODEL = 2
 _KIND_CLOSE = 3
+_KIND_TELEMETRY = 4
+
+_TELEMETRY = struct.Struct("<iI")  # worker_id, body length
 
 
 @dataclass(frozen=True)
@@ -142,7 +158,29 @@ class CloseFrame:
         return 0
 
 
-Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame"
+@dataclass(frozen=True)
+class TelemetryFrame:
+    """One worker's spans + metric snapshots, shipped at loop close.
+
+    ``spans`` are ``repro.obs.span`` records (the worker's own tracer
+    output, *not yet* relabeled — the receiver stamps them with their
+    origin lane); ``metrics`` are ``MetricsRegistry.snapshot()`` records.
+    Both must be JSON-serialisable.
+    """
+
+    worker_id: int = -1
+    spans: "tuple[dict[str, Any], ...]" = field(default_factory=tuple)
+    metrics: "tuple[dict[str, Any], ...]" = field(default_factory=tuple)
+
+    def nbytes(self) -> int:
+        """Telemetry is diagnostic, not payload — analytic bytes are 0."""
+        return 0
+
+    def dense_nbytes(self) -> int:
+        return 0
+
+
+Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame | TelemetryFrame"
 
 
 def reply_frame(msg: "DiffMessage | ModelMessage") -> "DiffFrame | ModelFrame":
@@ -168,6 +206,16 @@ def encode_frame(frame: Frame) -> bytes:
             _HEADER.pack(FRAME_MAGIC, kind)
             + _STALENESS.pack(frame.message.staleness)
             + encode_message(frame.message)
+        )
+    if isinstance(frame, TelemetryFrame):
+        body = json.dumps(
+            {"spans": list(frame.spans), "metrics": list(frame.metrics)},
+            ensure_ascii=False,
+        ).encode("utf-8")
+        return (
+            _HEADER.pack(FRAME_MAGIC, _KIND_TELEMETRY)
+            + _TELEMETRY.pack(frame.worker_id, len(body))
+            + body
         )
     if isinstance(frame, CloseFrame):
         err = frame.error.encode("utf-8") if frame.error is not None else b""
@@ -216,5 +264,16 @@ def decode_frame(raw: "bytes | memoryview") -> Frame:
             samples_processed=samples if samples >= 0 else None,
             worker_state_bytes=state if state >= 0 else None,
             error=error,
+        )
+    if kind == _KIND_TELEMETRY:
+        worker, body_len = _TELEMETRY.unpack_from(buf, off)
+        off += _TELEMETRY.size
+        if len(buf) < off + body_len:
+            raise ValueError("truncated telemetry frame body")
+        body = json.loads(bytes(buf[off : off + body_len]).decode("utf-8"))
+        return TelemetryFrame(
+            worker_id=worker,
+            spans=tuple(body.get("spans", [])),
+            metrics=tuple(body.get("metrics", [])),
         )
     raise ValueError(f"unknown frame kind {kind}")

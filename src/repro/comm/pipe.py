@@ -22,9 +22,17 @@ from multiprocessing.connection import wait
 from typing import Callable
 
 from ..compression.stats import CompressionStats
+from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
 from .channel import ChannelClosed, ServerService
-from .frames import CloseFrame, Frame, GradientFrame, decode_frame, encode_frame
+from .frames import (
+    CloseFrame,
+    Frame,
+    GradientFrame,
+    TelemetryFrame,
+    decode_frame,
+    encode_frame,
+)
 
 __all__ = ["PipeChannel", "ServeReport", "serve_pipe_channels"]
 
@@ -51,7 +59,7 @@ class PipeChannel:
         raw = encode_frame(frame)
         tracer = self._tracer()
         if tracer.enabled:
-            with tracer.span("comm.send", cat="comm", bytes=len(raw)):
+            with tracer.span(obs_names.COMM_SEND, cat="comm", bytes=len(raw)):
                 self.connection.send_bytes(raw)
         else:
             self.connection.send_bytes(raw)
@@ -62,7 +70,7 @@ class PipeChannel:
             raise ChannelClosed("pipe channel is closed")
         tracer = self._tracer()
         if tracer.enabled:
-            with tracer.span("comm.recv", cat="comm") as span:
+            with tracer.span(obs_names.COMM_RECV, cat="comm") as span:
                 raw = self.connection.recv_bytes()
                 span.set(bytes=len(raw))
         else:
@@ -87,6 +95,8 @@ class ServeReport:
     errors: "list[str]" = field(default_factory=list)
     clean_closes: int = 0
     crashes: int = 0
+    #: worker_id → TelemetryFrame shipped before that worker's close
+    telemetry: "dict[int, TelemetryFrame]" = field(default_factory=dict)
 
 
 def serve_pipe_channels(
@@ -125,6 +135,9 @@ def serve_pipe_channels(
                     report.clean_closes += 1
                 open_channels.pop(conn, None)
                 continue
+            if isinstance(frame, TelemetryFrame):
+                report.telemetry[frame.worker_id] = frame
+                continue  # diagnostic side channel: no reply, channel stays open
             if not isinstance(frame, GradientFrame):
                 report.errors.append(f"unexpected {type(frame).__name__} from worker pipe")
                 open_channels.pop(conn, None)

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
 from .channel import ChannelClosed
-from .frames import CloseFrame, GradientFrame
+from .frames import CloseFrame, GradientFrame, TelemetryFrame
 
 if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
     from ..ps.worker import WorkerNode
     from .channel import Channel
 
@@ -34,6 +36,8 @@ def run_worker_loop(
     tracer: "object | None" = None,
     on_step: "Callable[[WorkerNode], None] | None" = None,
     on_iteration: "Callable[[int], None] | None" = None,
+    ship_telemetry: bool = False,
+    metrics: "MetricsRegistry | None" = None,
 ) -> None:
     """Drive ``node`` through ``iterations`` exchanges over ``channel``.
 
@@ -42,6 +46,12 @@ def run_worker_loop(
     fault injection (e.g. the process backend's hard-crash hook).  The
     close frame is sent from a ``finally`` block: a worker that raises
     still reports the samples it processed and the error that killed it.
+
+    ``ship_telemetry`` makes the loop send a
+    :class:`~repro.comm.frames.TelemetryFrame` (the tracer's spans plus
+    ``metrics.snapshot()``) just before the close frame — the process
+    backend sets it so worker spans reach the parent's merged trace.
+    In-process backends share the parent tracer and leave it off.
     """
     tracer = tracer if tracer is not None else current_tracer()
     error: "str | None" = None
@@ -49,12 +59,14 @@ def run_worker_loop(
         for i in range(iterations):
             if on_iteration is not None:
                 on_iteration(i)
-            with tracer.span("worker.step", cat="worker", worker=node.worker_id, iteration=i):
-                with tracer.span("worker.compute", cat="worker", worker=node.worker_id):
+            with tracer.span(
+                obs_names.WORKER_STEP, cat="worker", worker=node.worker_id, iteration=i
+            ):
+                with tracer.span(obs_names.WORKER_COMPUTE, cat="worker", worker=node.worker_id):
                     msg = node.compute_step()
                 channel.send(GradientFrame(msg, node.last_loss))
                 reply = channel.recv()
-                with tracer.span("worker.apply", cat="worker", worker=node.worker_id):
+                with tracer.span(obs_names.WORKER_APPLY, cat="worker", worker=node.worker_id):
                     node.apply_reply(reply.message)
             if on_step is not None:
                 on_step(node)
@@ -63,6 +75,14 @@ def run_worker_loop(
         raise
     finally:
         try:
+            if ship_telemetry and getattr(tracer, "enabled", False):
+                channel.send(
+                    TelemetryFrame(
+                        worker_id=node.worker_id,
+                        spans=tuple(tracer.records()),
+                        metrics=tuple(metrics.snapshot()) if metrics is not None else (),
+                    )
+                )
             channel.send(
                 CloseFrame(
                     worker_id=node.worker_id,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..compression.stats import CompressionStats
+from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
 from .channel import ServerService
 from .frames import DiffFrame, GradientFrame, ModelFrame
@@ -80,7 +81,7 @@ class SimTransport:
         tracer = self._tracer()
         if tracer.enabled:
             tracer.add_span(
-                "comm.send",
+                obs_names.COMM_SEND,
                 start,
                 end,
                 tid=f"worker-{worker}" if worker is not None else "worker",
@@ -100,7 +101,7 @@ class SimTransport:
         tracer = self._tracer()
         if tracer.enabled:
             tracer.add_span(
-                "comm.recv",
+                obs_names.COMM_RECV,
                 start,
                 end,
                 tid=f"worker-{worker}" if worker is not None else "worker",
@@ -137,7 +138,7 @@ class SimChannel:
         tracer = transport._tracer()
         if tracer.enabled:
             tracer.add_span(
-                "server.handle",
+                obs_names.SERVER_HANDLE,
                 server_start,
                 server_end,
                 tid="server",

@@ -20,9 +20,11 @@ and validates the schema (the ``make backend-matrix`` smoke).  See
 
 from .backend import (
     Backend,
+    collect_results,
     default_backend,
     get_backend,
     list_backends,
+    notify_result,
     register_backend,
     use_backend,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "list_backends",
     "default_backend",
     "use_backend",
+    "collect_results",
+    "notify_result",
     "validate_result",
     "ThreadedBackend",
     "ProcessBackend",

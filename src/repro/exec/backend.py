@@ -24,6 +24,8 @@ __all__ = [
     "list_backends",
     "default_backend",
     "use_backend",
+    "collect_results",
+    "notify_result",
 ]
 
 
@@ -86,6 +88,37 @@ def list_backends() -> "tuple[str, ...]":
 def default_backend() -> str:
     """The backend name used when callers pass ``backend=None``."""
     return _DEFAULT
+
+
+#: active result sinks — every completed backend run is appended to each
+_COLLECTORS: "list[list[tuple[RunConfig, TrainResult]]]" = []
+
+
+def notify_result(config: RunConfig, result: TrainResult) -> None:
+    """Report a completed run to every active :func:`collect_results` scope.
+
+    The built-in backends call this from their shared ``run()``; custom
+    backends should too, so CLI-level run manifests see their results.
+    """
+    for sink in _COLLECTORS:
+        sink.append((config, result))
+
+
+@contextlib.contextmanager
+def collect_results() -> "Iterator[list[tuple[RunConfig, TrainResult]]]":
+    """Collect every (config, result) pair produced while the scope is open.
+
+    The seam behind ``python -m repro run --run-dir``: experiments run
+    arbitrarily many distributed jobs internally, and the CLI turns the
+    collected pairs into run-manifest artifacts without threading a sink
+    through every runner signature.
+    """
+    sink: "list[tuple[RunConfig, TrainResult]]" = []
+    _COLLECTORS.append(sink)
+    try:
+        yield sink
+    finally:
+        _COLLECTORS.remove(sink)
 
 
 @contextlib.contextmanager

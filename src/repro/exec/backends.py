@@ -10,7 +10,7 @@ that knows their constructor signatures.
 
 from __future__ import annotations
 
-from .backend import register_backend
+from .backend import notify_result, register_backend
 from .config import RunConfig
 from .result import TrainResult
 
@@ -30,6 +30,8 @@ _PS_MEASURES = frozenset(
         "download_dense_bytes",
         "server_state_bytes",
         "worker_state_bytes",
+        "worker_staleness",
+        "metrics",
     }
 )
 
@@ -45,7 +47,9 @@ class _BackendBase:
         raise NotImplementedError
 
     def run(self, config: RunConfig) -> TrainResult:
-        return self.create(config).run()
+        result = self.create(config).run()
+        notify_result(config, result)
+        return result
 
 
 class ThreadedBackend(_BackendBase):
@@ -100,6 +104,7 @@ class ProcessBackend(_BackendBase):
             staleness_damping=config.staleness_damping,
             seed=config.seed,
             fail_at=config.fail_at,
+            tracer=config.tracer,
             arena=config.arena,
             arena_dtype=config.arena_dtype,
         )

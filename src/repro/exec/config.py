@@ -103,3 +103,35 @@ class RunConfig:
         if self.cluster is not None:
             return self.cluster
         return ClusterConfig.with_bandwidth(self.num_workers, 10.0, seed=self.seed)
+
+    def describe(self) -> "dict[str, object]":
+        """JSON-serialisable summary of the *resolved* configuration.
+
+        This is what a run manifest records: scalar knobs verbatim, and
+        the non-serialisable members (model factory, dataset, hyper,
+        schedule, cluster, logger, tracer) reduced to descriptive strings
+        — enough to identify a run, not to re-execute it.
+        """
+        method = self.method if isinstance(self.method, str) else self.method.name
+        return {
+            "method": method,
+            "num_workers": self.num_workers,
+            "batch_size": self.batch_size,
+            "total_iterations": self.total_iterations,
+            "iterations_per_worker": self.iterations_per_worker(),
+            "rounds": self.rounds(),
+            "seed": self.seed,
+            "secondary_compression": self.secondary_compression,
+            "staleness_damping": self.staleness_damping,
+            "arena": self.arena,
+            "arena_dtype": self.arena_dtype,
+            "wire_fidelity": self.wire_fidelity,
+            "eval_every": self.eval_every,
+            "record_trace": self.record_trace,
+            "fail_at": dict(self.fail_at) if self.fail_at else None,
+            "hyper": repr(self.hyper) if self.hyper is not None else None,
+            "schedule": type(self.schedule).__name__ if self.schedule is not None else None,
+            "cluster": repr(self.cluster) if self.cluster is not None else None,
+            "dataset": f"{type(self.dataset).__name__}(n={len(getattr(self.dataset, 'x_train', ()))})",
+            "traced": self.tracer is not None and bool(getattr(self.tracer, "enabled", False)),
+        }

@@ -23,7 +23,7 @@ by ``make backend-matrix`` and the schema tests).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable
 
 from ..metrics.curves import Curve
@@ -51,6 +51,11 @@ class TrainResult:
     samples_processed: int = 0
     #: mean server-side staleness (0.0 under the synchronous barrier)
     mean_staleness: float = float("nan")
+    #: exact staleness percentiles across all updates (NaN before any
+    #: exchange; 0.0 under the synchronous barrier, where staleness is
+    #: defined by construction)
+    staleness_p50: float = float("nan")
+    staleness_p99: float = float("nan")
     #: actual payload bytes shipped worker→server (codec-level accounting)
     upload_bytes: int = 0
     #: actual payload bytes shipped server→worker
@@ -82,6 +87,13 @@ class TrainResult:
     rounds: "int | None" = None
     #: virtual seconds lost waiting at the barrier (sync backend only)
     straggler_time_s: "float | None" = None
+    #: per-worker staleness summary, worker id → {count, mean, p50, p99}
+    #: (None on backends without a staleness-observing server, e.g. sync)
+    worker_staleness: "dict[int, dict[str, float]] | None" = None
+    #: metric snapshots (``type: "metric"`` records) gathered at run end —
+    #: the server's staleness/lock-contention series plus anything the
+    #: run's registry accumulated (None = backend has no registry)
+    metrics: "list[dict] | None" = None
     #: per-exchange timeline (simulated backend with ``record_trace``)
     trace: "list | None" = None
     #: worker exceptions surfaced without crashing the run
@@ -103,6 +115,28 @@ class TrainResult:
         dense = self.upload_dense_bytes + self.download_dense_bytes
         actual = self.upload_bytes + self.download_bytes
         return dense / actual if actual else 1.0
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> "dict[str, object]":
+        """JSON-serialisable view of the result (the run-manifest schema).
+
+        Curves become ``[[x, y], ...]`` row lists, the raw ``trace`` (a
+        list of engine-native event objects) is reduced to its length, and
+        derived metrics are materialised so a manifest is self-contained.
+        """
+        out: dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Curve):
+                value = [[float(x), float(y)] for x, y in value.to_rows()]
+            elif f.name == "trace":
+                value = None if value is None else len(value)
+            elif f.name == "worker_staleness" and value is not None:
+                value = {str(w): dict(summary) for w, summary in value.items()}
+            out[f.name] = value
+        out["throughput"] = self.throughput
+        out["compression_ratio"] = self.compression_ratio
+        return out
 
     # -- legacy aliases (pre-unification result field names) ---------------
     @property
@@ -145,6 +179,18 @@ def validate_result(
         problems.append("byte accounting missing (upload/download_bytes <= 0)")
     if not math.isnan(result.mean_staleness) and result.mean_staleness < 0:
         problems.append(f"mean_staleness={result.mean_staleness} < 0")
+    for name in ("staleness_p50", "staleness_p99"):
+        value = getattr(result, name)
+        if not math.isnan(value) and value < 0:
+            problems.append(f"{name}={value} < 0")
+    if (
+        not math.isnan(result.staleness_p50)
+        and not math.isnan(result.staleness_p99)
+        and result.staleness_p99 < result.staleness_p50
+    ):
+        problems.append(
+            f"staleness_p99={result.staleness_p99} < staleness_p50={result.staleness_p50}"
+        )
     if result.clock not in (None, "wall", "virtual"):
         problems.append(f"clock={result.clock!r} not in (None, 'wall', 'virtual')")
     if result.makespan_s is not None:

@@ -30,15 +30,52 @@ from .export import (
     write_chrome_trace,
 )
 from .hooks import HOT_PATH_GROUPS, profile_hot_paths
-from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry, ObsLogger
-from .span import Span, span_record, validate_record, validate_records
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsLogger,
+    quantile_from_counts,
+)
+from .names import is_valid_name, registered_names
+from .runs import (
+    HealthSpec,
+    HealthViolation,
+    evaluate_health,
+    git_sha,
+    load_manifest,
+    new_run_id,
+    render_compare,
+    render_report,
+    worker_skew_s,
+    write_run_dir,
+)
+from .span import Span, relabel_records, span_record, validate_record, validate_records
 from .tracer import NullTracer, Tracer, current_tracer, set_tracer, use_tracer
+from . import names
 
 __all__ = [
     "Span",
     "span_record",
+    "relabel_records",
     "validate_record",
     "validate_records",
+    "names",
+    "is_valid_name",
+    "registered_names",
+    "HealthSpec",
+    "HealthViolation",
+    "evaluate_health",
+    "git_sha",
+    "load_manifest",
+    "new_run_id",
+    "render_compare",
+    "render_report",
+    "worker_skew_s",
+    "write_run_dir",
+    "quantile_from_counts",
     "Tracer",
     "NullTracer",
     "current_tracer",

@@ -7,10 +7,16 @@ Usage::
     python -m repro.obs summary run.jsonl --prometheus
     python -m repro.obs top run.jsonl -n 15          # self-time hot list
     python -m repro.obs smoke --jsonl trace.jsonl    # tiny traced runs (CI)
+    python -m repro.obs report runs/<id>             # one-run manifest summary
+    python -m repro.obs compare runs/<a> runs/<b>    # field-by-field deltas
+    python -m repro.obs check runs/<id> --max-staleness-p99 8
+    python -m repro.obs run-smoke --runs-dir runs    # process run + manifest (CI)
 
 ``convert`` validates both the input record stream and the produced
 Chrome JSON and exits non-zero on any schema violation — that is the
-gate the CI trace-smoke job relies on.
+gate the CI trace-smoke job relies on.  ``check`` evaluates a
+:class:`~repro.obs.runs.HealthSpec` against a run manifest and exits
+non-zero on any violated SLO — the run-health gate.
 """
 
 from __future__ import annotations
@@ -26,6 +32,13 @@ from .export import (
     to_prometheus,
     validate_chrome_trace,
     write_chrome_trace,
+)
+from .runs import (
+    HealthSpec,
+    evaluate_health,
+    load_manifest,
+    render_compare,
+    render_report,
 )
 from .span import validate_records
 
@@ -127,6 +140,97 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(render_report(load_manifest(args.run_dir)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    print(render_compare(load_manifest(args.a), load_manifest(args.b)))
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> HealthSpec:
+    if args.spec is not None:
+        return HealthSpec.from_file(args.spec)
+    return HealthSpec(
+        max_staleness_p99=args.max_staleness_p99,
+        min_samples_per_sec=args.min_samples_per_sec,
+        max_worker_skew_s=args.max_worker_skew_s,
+    )
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    manifest = load_manifest(args.run_dir)
+    spec = _spec_from_args(args)
+    violations = evaluate_health(manifest, spec)
+    run_id = manifest.get("run_id", args.run_dir)
+    if violations:
+        for v in violations:
+            print(f"health violation [{run_id}] {v}", file=sys.stderr)
+        return 1
+    print(f"run {run_id}: healthy", file=sys.stderr)
+    return 0
+
+
+def _cmd_run_smoke(args: argparse.Namespace) -> int:
+    """Tiny traced *process-backend* run → run dir → health gate (CI).
+
+    Exercises the whole telemetry pipeline: worker processes ship spans
+    back as TelemetryFrames, the parent merges them, the manifest is
+    written and checked.  ``--run-id`` is fixed so a Makefile can chain
+    ``obs check`` on the resulting directory deterministically.
+    """
+    from ..core.methods import Hyper
+    from ..data.synthetic import make_blobs
+    from ..exec import RunConfig, train
+    from ..nn.models.mlp import MLP
+    from .runs import load_manifest as _load, write_run_dir
+    from .tracer import Tracer, use_tracer
+
+    dataset = make_blobs(n_samples=256, num_classes=4, dim=12, seed=1)
+    tracer = Tracer(meta={"kind": "run-smoke", "workers": args.workers})
+    config = RunConfig(
+        "dgs",
+        lambda: MLP(12, (24,), 4, seed=7),
+        dataset,
+        num_workers=args.workers,
+        batch_size=16,
+        total_iterations=args.workers * args.iterations,
+        hyper=Hyper(ratio=0.1, min_sparse_size=0),
+        seed=0,
+        tracer=tracer,
+    )
+    with use_tracer(tracer):
+        result = train(config, backend="process")
+
+    run_dir = write_run_dir(
+        args.runs_dir,
+        result,
+        config=config.describe(),
+        run_id=args.run_id,
+        records=tracer.records(),
+    )
+    manifest = _load(run_dir)
+    procs = {
+        rec.get("proc")
+        for rec in tracer.records()
+        if rec.get("type") == "span" and rec.get("proc")
+    }
+    print(
+        f"wrote {run_dir}: backend={manifest['backend']} "
+        f"worker lanes={sorted(procs)}",
+        file=sys.stderr,
+    )
+    if len(procs) < args.workers:
+        print(
+            f"run-smoke failed: expected {args.workers} worker span lanes, got {sorted(procs)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -154,6 +258,32 @@ def main(argv: "list[str] | None" = None) -> int:
     p_smoke.add_argument("--workers", type=int, default=2)
     p_smoke.add_argument("--iterations", type=int, default=4, help="iterations per worker")
     p_smoke.set_defaults(fn=_cmd_smoke)
+
+    p_report = sub.add_parser("report", help="summarise one run manifest")
+    p_report.add_argument("run_dir")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_compare = sub.add_parser("compare", help="field-by-field deltas between two runs")
+    p_compare.add_argument("a")
+    p_compare.add_argument("b")
+    p_compare.set_defaults(fn=_cmd_compare)
+
+    p_check = sub.add_parser("check", help="health-gate a run manifest (non-zero on violation)")
+    p_check.add_argument("run_dir")
+    p_check.add_argument("--spec", help="HealthSpec JSON file (overrides the flag limits)")
+    p_check.add_argument("--max-staleness-p99", type=float, default=None)
+    p_check.add_argument("--min-samples-per-sec", type=float, default=None)
+    p_check.add_argument("--max-worker-skew-s", type=float, default=None)
+    p_check.set_defaults(fn=_cmd_check)
+
+    p_run_smoke = sub.add_parser(
+        "run-smoke", help="tiny traced process run -> run dir + merged trace (CI gate)"
+    )
+    p_run_smoke.add_argument("--runs-dir", default="runs", help="parent directory for run dirs")
+    p_run_smoke.add_argument("--run-id", default="run-smoke", help="fixed id (deterministic path)")
+    p_run_smoke.add_argument("--workers", type=int, default=2)
+    p_run_smoke.add_argument("--iterations", type=int, default=4, help="iterations per worker")
+    p_run_smoke.set_defaults(fn=_cmd_run_smoke)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -73,10 +73,18 @@ def _span_bytes(record: "Mapping[str, Any]") -> int:
 def to_chrome_trace(
     records: "Sequence[Mapping[str, Any]]", meta: "Mapping[str, Any] | None" = None
 ) -> "dict[str, Any]":
-    """Convert a record stream to the Chrome Trace Event JSON format."""
+    """Convert a record stream to the Chrome Trace Event JSON format.
+
+    Process lanes: pid 0/1 are the wall/virtual clock domains of the
+    coordinating process.  Spans shipped from worker processes carry a
+    ``proc`` label (see :func:`repro.obs.span.relabel_records`); each
+    distinct ``(domain, proc)`` pair gets its own pid from 2 upward, so a
+    merged multi-process trace renders one lane per worker process
+    without disturbing the single-process layout.
+    """
     events: list[dict[str, Any]] = []
-    pid_of = {domain: i for i, domain in enumerate(DOMAINS)}
-    pids_used: set[str] = set()
+    base_pid_of = {domain: i for i, domain in enumerate(DOMAINS)}
+    pid_of: dict[tuple[str, "str | None"], int] = {}
     tid_of: dict[tuple[int, str], int] = {}
 
     merged_meta: dict[str, Any] = {}
@@ -86,10 +94,18 @@ def to_chrome_trace(
     if meta:
         merged_meta.update(meta)
 
+    next_pid = len(DOMAINS)
     for record in _spans(records):
         domain = record.get("domain", "wall")
-        pid = pid_of.get(domain, 0)
-        pids_used.add(domain)
+        proc = record.get("proc")
+        lane = (domain, proc)
+        if lane not in pid_of:
+            if proc is None:
+                pid_of[lane] = base_pid_of.get(domain, 0)
+            else:
+                pid_of[lane] = next_pid
+                next_pid += 1
+        pid = pid_of[lane]
         key = (pid, str(record["tid"]))
         tid = tid_of.setdefault(key, len(tid_of))
         event: dict[str, Any] = {
@@ -105,14 +121,15 @@ def to_chrome_trace(
             event["args"] = dict(record["args"])
         events.append(event)
 
-    for domain in sorted(pids_used):
+    for (domain, proc), pid in sorted(pid_of.items(), key=lambda kv: kv[1]):
+        lane_name = f"{domain}-clock" if proc is None else f"{domain}-clock · {proc}"
         events.append(
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": pid_of.get(domain, 0),
+                "pid": pid,
                 "tid": 0,
-                "args": {"name": f"{domain}-clock"},
+                "args": {"name": lane_name},
             }
         )
     for (pid, tname), tid in sorted(tid_of.items(), key=lambda kv: kv[1]):

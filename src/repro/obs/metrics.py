@@ -27,6 +27,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObsLogger",
+    "quantile_from_counts",
 ]
 
 #: histogram bucket upper bounds in seconds (+Inf is implicit)
@@ -35,6 +36,39 @@ DEFAULT_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
 
 def _label_key(labels: "Mapping[str, Any]") -> "tuple[tuple[str, str], ...]":
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def quantile_from_counts(
+    buckets: "tuple[float, ...] | list[float]",
+    counts: "list[int]",
+    q: float,
+) -> float:
+    """Estimate quantile ``q`` from per-bucket counts (last slot = +Inf).
+
+    Linear interpolation within the winning bucket, the standard
+    Prometheus ``histogram_quantile`` estimator.  Values landing in the
+    +Inf bucket clamp to the highest finite bound; an empty histogram
+    returns ``nan``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if i >= len(buckets):  # +Inf bucket: clamp to last finite bound
+                return float(buckets[-1]) if buckets else float("nan")
+            lower = float(buckets[i - 1]) if i > 0 else 0.0
+            upper = float(buckets[i])
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * fraction
+        cumulative += count
+    return float(buckets[-1]) if buckets else float("nan")
 
 
 class Counter:
@@ -124,6 +158,12 @@ class Histogram:
                     self._counts[i] += 1
                     return
             self._counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``nan`` when empty)."""
+        with self._lock:
+            counts = list(self._counts)
+        return quantile_from_counts(self.buckets, counts, q)
 
     def snapshot(self) -> "dict[str, Any]":
         with self._lock:

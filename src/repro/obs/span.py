@@ -26,6 +26,7 @@ __all__ = [
     "RECORD_TYPES",
     "SPAN_KEYS",
     "Span",
+    "relabel_records",
     "span_record",
     "validate_record",
     "validate_records",
@@ -75,8 +76,13 @@ def span_record(
     cat: str = "default",
     domain: str = "wall",
     args: "Mapping[str, Any] | None" = None,
+    proc: "str | None" = None,
 ) -> "dict[str, Any]":
-    """Build one schema-conformant span record."""
+    """Build one schema-conformant span record.
+
+    ``proc`` labels the logical producer process (``worker-3``) for spans
+    shipped across a process boundary; in-process producers omit it.
+    """
     rec: dict[str, Any] = {
         "type": "span",
         "name": name,
@@ -86,9 +92,33 @@ def span_record(
         "tid": str(tid),
         "domain": domain,
     }
+    if proc is not None:
+        rec["proc"] = str(proc)
     if args:
         rec["args"] = dict(args)
     return rec
+
+
+def relabel_records(
+    records: "Iterable[Mapping[str, Any]]", proc: str
+) -> "list[dict[str, Any]]":
+    """Stamp records shipped from another process with their origin lane.
+
+    Used by the process backend when merging a worker child's telemetry
+    into the parent tracer: every span gains ``proc`` (a distinct Chrome
+    process lane) and its ``tid`` is prefixed so ``worker-0:MainThread``
+    and ``worker-1:MainThread`` never collide in flame summaries.
+    """
+    out: list[dict[str, Any]] = []
+    for record in records:
+        rec = dict(record)
+        if rec.get("type") == "span":
+            rec["proc"] = proc
+            tid = str(rec.get("tid", ""))
+            if not tid.startswith(f"{proc}:"):
+                rec["tid"] = f"{proc}:{tid}"
+        out.append(rec)
+    return out
 
 
 def validate_record(record: "Mapping[str, Any]", index: int = 0) -> "list[str]":
@@ -110,6 +140,8 @@ def validate_record(record: "Mapping[str, Any]", index: int = 0) -> "list[str]":
             errors.append(f"record {index}: span dur must be >= 0, got {record['dur']}")
         if "domain" in record and record["domain"] not in DOMAINS:
             errors.append(f"record {index}: unknown domain {record['domain']!r}")
+        if "proc" in record and not isinstance(record["proc"], str):
+            errors.append(f"record {index}: span proc must be a string")
         if "args" in record and not isinstance(record["args"], dict):
             errors.append(f"record {index}: span args must be a mapping")
     elif rtype == "metric":

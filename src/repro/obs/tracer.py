@@ -132,6 +132,9 @@ class NullTracer:
     def records(self) -> "list[dict[str, Any]]":
         return []
 
+    def absorb(self, records: "Iterable[Mapping[str, Any]]") -> int:
+        return 0
+
 
 class Tracer:
     """Collects spans from any number of threads and two clock domains."""
@@ -186,12 +189,26 @@ class Tracer:
             )
         )
 
+    def absorb(self, records: "Iterable[Mapping[str, Any]]") -> int:
+        """Merge records produced by another tracer (e.g. a worker process).
+
+        The caller is expected to have stamped them with
+        :func:`repro.obs.span.relabel_records` so lanes stay distinct.
+        Returns the number of records absorbed.
+        """
+        batch = [dict(rec) for rec in records]
+        if not batch:
+            return 0
+        with self._merge_lock:
+            self._buffers.append(batch)
+        return len(batch)
+
     # ------------------------------------------------------------------
     def records(self) -> "list[dict[str, Any]]":
         """All spans merged across thread buffers, in (domain, start) order."""
         with self._merge_lock:
             merged = [rec for buf in self._buffers for rec in buf]
-        merged.sort(key=lambda r: (r["domain"], r["ts"]))
+        merged.sort(key=lambda r: (r.get("domain", "wall"), r.get("ts", 0.0)))
         return merged
 
     def clear(self) -> None:

@@ -52,6 +52,8 @@ from ..exec.result import TrainResult
 from ..metrics.curves import Curve
 from ..metrics.evaluation import evaluate_params
 from ..nn.module import Module
+from ..obs.span import relabel_records
+from ..obs.tracer import Tracer, current_tracer, use_tracer
 from ..optim.schedules import Schedule
 
 __all__ = ["ProcessTrainer", "ProcessResult"]
@@ -79,6 +81,7 @@ def _worker_main(
     fail_at: "int | None",
     arena: bool = False,
     arena_dtype: "object | None" = None,
+    trace: bool = False,
 ) -> None:
     from ..comm.pipe import PipeChannel  # lazy: comm imports ps
     from ..comm.protocol import run_worker_loop
@@ -103,7 +106,21 @@ def _worker_main(
             # survive on the EOF it sees when the pipe drops.
             os._exit(_CRASH_EXIT_CODE)
 
-    run_worker_loop(node, PipeChannel(conn), iterations, on_iteration=crash_hook)
+    if trace:
+        # The parent's tracer object is unreachable across the fork (its
+        # buffers land in this process's copy), so the child records into
+        # its own tracer and ships the spans back as a TelemetryFrame.
+        child_tracer = Tracer()
+        with use_tracer(child_tracer):
+            run_worker_loop(
+                node,
+                PipeChannel(conn),
+                iterations,
+                on_iteration=crash_hook,
+                ship_telemetry=True,
+            )
+    else:
+        run_worker_loop(node, PipeChannel(conn), iterations, on_iteration=crash_hook)
 
 
 class ProcessTrainer:
@@ -123,10 +140,13 @@ class ProcessTrainer:
         staleness_damping: bool = False,
         seed: int = 0,
         fail_at: "Mapping[int, int] | None" = None,
+        tracer: "object | None" = None,
         arena: bool = False,
         arena_dtype: "object | None" = None,
     ) -> None:
         self.method = resolve_method(method)
+        #: explicit tracer; None ⇒ the ambient repro.obs tracer at run time
+        self.tracer = tracer
         self.hyper = resolve_hyper(hyper)
         self.schedule = resolve_schedule(schedule, self.hyper)
         self.model_factory = model_factory
@@ -157,6 +177,8 @@ class ProcessTrainer:
         from ..comm.channel import ServerService  # lazy: comm imports ps
         from ..comm.pipe import PipeChannel, serve_pipe_channels
 
+        tracer = self.tracer if self.tracer is not None else current_tracer()
+        trace = bool(getattr(tracer, "enabled", False))
         t_start = time.perf_counter()
         ctx = mp.get_context("fork")
         channels: "list[PipeChannel]" = []
@@ -181,12 +203,13 @@ class ProcessTrainer:
                     self.fail_at.get(w),
                     self.arena,
                     self.arena_dtype,
+                    trace,
                 ),
                 daemon=True,
             )
             proc.start()
             child.close()
-            channels.append(PipeChannel(parent))
+            channels.append(PipeChannel(parent, tracer=tracer))
             procs.append(proc)
 
         loss_curve = Curve("loss_vs_server_step")
@@ -204,11 +227,21 @@ class ProcessTrainer:
                     proc.terminate()
         elapsed = time.perf_counter() - t_start
 
+        # Merge each worker's shipped telemetry into the parent tracer:
+        # spans get a per-process lane (proc="worker-N"), metric snapshots
+        # join the result's metrics list alongside the server's series.
+        shipped_metrics: "list[dict]" = []
+        for wid, frame in sorted(report.telemetry.items()):
+            shipped_metrics.extend(dict(m) for m in frame.metrics)
+            if trace:
+                tracer.absorb(relabel_records(frame.spans, f"worker-{wid}"))
+
         global_params = self.server.global_model()
         acc, loss = evaluate_params(
             self.eval_model, global_params, self.dataset.x_val, self.dataset.y_val
         )
         stats = self.server.stats
+        staleness = self.server.staleness_summary()
         return TrainResult(
             method=self.method.name,
             backend="process",
@@ -219,6 +252,10 @@ class ProcessTrainer:
             total_iterations=self.server.timestamp,
             samples_processed=report.samples_processed,
             mean_staleness=self.server.staleness_meter.avg,
+            staleness_p50=staleness["p50"],
+            staleness_p99=staleness["p99"],
+            worker_staleness=staleness["per_worker"],
+            metrics=self.server.metrics.snapshot() + shipped_metrics,
             upload_bytes=stats.upload_bytes,
             download_bytes=stats.download_bytes,
             upload_dense_bytes=stats.upload_dense_bytes,

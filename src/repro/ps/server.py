@@ -26,10 +26,16 @@ from ..compression.topk import TopKSparsifier
 from ..core.layerops import scale_payload
 from ..core.tracker import ModelDifferenceTracker
 from ..metrics.meters import AverageMeter
+from ..obs import names as obs_names
+from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import current_tracer
 from .messages import DiffMessage, GradientMessage, ModelMessage
 
-__all__ = ["ParameterServer"]
+__all__ = ["ParameterServer", "STALENESS_BUCKETS"]
+
+#: histogram bucket upper bounds for staleness (update counts, not
+#: seconds — the +Inf slot catches anything above 128 timestamps)
+STALENESS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class ParameterServer:
@@ -40,7 +46,7 @@ class ParameterServer:
     #: (:func:`repro.analysis.race.instrument_object`).  ``stats`` is
     #: deliberately absent: byte accounting is recorded by the channel
     #: layer into a self-synchronising ``CompressionStats``.
-    __guarded_attrs__ = ("tracker", "staleness_meter")
+    __guarded_attrs__ = ("tracker", "staleness_meter", "worker_staleness")
 
     def __init__(
         self,
@@ -89,6 +95,13 @@ class ParameterServer:
         self.lock_wait_meter = AverageMeter("lock_wait_s")
         self.lock_hold_meter = AverageMeter("lock_hold_s")
         self.worker_lock_wait: "dict[int, AverageMeter]" = {}
+        #: raw per-worker staleness observations (exact p50/p99 for
+        #: TrainResult; the registry's bucketed series are the streamable
+        #: approximation for metrics.jsonl / health checks)
+        self.worker_staleness: "dict[int, list[int]]" = {}
+        #: per-worker time-bucketed series (self-synchronising, like
+        #: ``stats``: observed *outside* the server lock)
+        self.metrics = MetricsRegistry()
         #: gap-aware mitigation (Barkai et al., the paper's [4]): scale an
         #: incoming update by 1/(staleness + 1) before applying it, damping
         #: the implicit momentum that asynchrony introduces.
@@ -103,6 +116,7 @@ class ParameterServer:
             t_acquired = time.perf_counter()
             staleness = self.tracker.staleness(msg.worker_id)
             self.staleness_meter.update(staleness)
+            self.worker_staleness.setdefault(msg.worker_id, []).append(staleness)
             payload = msg.payload
             if self.staleness_damping and staleness > 0:
                 payload = scale_payload(payload, 1.0 / (staleness + 1))
@@ -128,13 +142,31 @@ class ParameterServer:
                 self.worker_lock_wait[msg.worker_id] = per_worker
             per_worker.update(wait)
 
+        # Bucketed series are observed outside the lock (their own fine-
+        # grained locks must never nest inside the server lock), same as
+        # the tracer spans below; the registry is self-synchronising, so
+        # it is not server-lock-guarded state.
+        hold = t_done - t_acquired
+        metrics = self.metrics
+        metrics.histogram(
+            obs_names.METRIC_SERVER_STALENESS,
+            buckets=STALENESS_BUCKETS,
+            worker=msg.worker_id,
+        ).observe(staleness)
+        metrics.histogram(
+            obs_names.METRIC_SERVER_LOCK_WAIT_S, worker=msg.worker_id
+        ).observe(wait)
+        metrics.histogram(
+            obs_names.METRIC_SERVER_LOCK_HOLD_S, worker=msg.worker_id
+        ).observe(hold)
+
         tracer = current_tracer()
         if tracer.enabled:
             # Emitted outside the lock (no tracing cost added to hold time);
             # wall-clock domain — the simulator stamps its own virtual-time
             # server spans from the event timeline instead.
             tracer.add_span(
-                "server.lock_wait",
+                obs_names.SERVER_LOCK_WAIT,
                 t_request,
                 t_acquired,
                 cat="server",
@@ -142,7 +174,7 @@ class ParameterServer:
                 args={"worker": msg.worker_id},
             )
             tracer.add_span(
-                "server.handle",
+                obs_names.SERVER_HANDLE,
                 t_acquired,
                 t_done,
                 cat="server",
@@ -157,6 +189,34 @@ class ParameterServer:
         return reply
 
     # ------------------------------------------------------------------
+    def staleness_summary(self) -> "dict[str, object]":
+        """Exact staleness percentiles from the raw observations.
+
+        Returns ``{"p50", "p99", "per_worker"}`` where ``per_worker`` maps
+        worker id → ``{"count", "mean", "p50", "p99"}``.  Percentiles are
+        ``nan`` when no updates were observed (the server never handled a
+        message) — the *measured but empty* case; backends that cannot
+        measure staleness at all report ``None`` fields on TrainResult
+        instead (see docs/execution.md).
+        """
+        with self._lock:
+            per_worker_values = {w: list(v) for w, v in self.worker_staleness.items()}
+        all_values = [s for values in per_worker_values.values() for s in values]
+        per_worker = {
+            w: {
+                "count": len(values),
+                "mean": float(np.mean(values)),
+                "p50": float(np.percentile(values, 50)),
+                "p99": float(np.percentile(values, 99)),
+            }
+            for w, values in sorted(per_worker_values.items())
+        }
+        return {
+            "p50": float(np.percentile(all_values, 50)) if all_values else float("nan"),
+            "p99": float(np.percentile(all_values, 99)) if all_values else float("nan"),
+            "per_worker": per_worker,
+        }
+
     def global_model(self) -> "OrderedDict[str, np.ndarray]":
         """Materialise θ_t = θ_0 + M_t for evaluation (thread-safe)."""
         with self._lock:

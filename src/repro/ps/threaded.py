@@ -162,6 +162,7 @@ class ThreadedTrainer:
         acc, loss = evaluate_global(self.workers[0].model, self.server, self.dataset)
         stats = self.server.stats
         closes = [ch.close_frame for ch in channels if ch.close_frame is not None]
+        staleness = self.server.staleness_summary()
         return TrainResult(
             method=self.method.name,
             backend="threaded",
@@ -174,6 +175,10 @@ class ThreadedTrainer:
             # same way it reaches the server on every other backend.
             samples_processed=sum(c.samples_processed or 0 for c in closes),
             mean_staleness=self.server.staleness_meter.avg,
+            staleness_p50=staleness["p50"],
+            staleness_p99=staleness["p99"],
+            worker_staleness=staleness["per_worker"],
+            metrics=self.server.metrics.snapshot(),
             upload_bytes=stats.upload_bytes,
             download_bytes=stats.download_bytes,
             upload_dense_bytes=stats.upload_dense_bytes,

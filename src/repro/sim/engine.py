@@ -40,6 +40,7 @@ from ..exec.result import TrainResult
 from ..metrics.curves import Curve
 from ..metrics.meters import EMAMeter
 from ..nn.module import Module
+from ..obs import names as obs_names
 from ..obs.tracer import NullTracer, Tracer, current_tracer
 from ..optim.schedules import Schedule
 from ..ps.worker import WorkerNode
@@ -221,7 +222,7 @@ class SimulatedTrainer:
                 )
             if emit_spans:
                 tracer.add_span(
-                    "worker.compute",
+                    obs_names.WORKER_COMPUTE,
                     compute_start[wid],
                     ready_t,
                     tid=f"worker-{wid}",
@@ -259,6 +260,7 @@ class SimulatedTrainer:
         if self.eval_every is not None and (not len(acc_vs_step) or acc_vs_step.xs[-1] < applied):
             acc_vs_step.add(applied, final_acc)
 
+        staleness_summary = self.server.staleness_summary()
         return TrainResult(
             method=self.method.name,
             backend="simulated",
@@ -273,6 +275,10 @@ class SimulatedTrainer:
             total_iterations=applied,
             samples_processed=sum(n.samples_processed for n in self.workers),
             mean_staleness=self.server.staleness_meter.avg,
+            staleness_p50=staleness_summary["p50"],
+            staleness_p99=staleness_summary["p99"],
+            worker_staleness=staleness_summary["per_worker"],
+            metrics=self.server.metrics.snapshot(),
             upload_bytes=self.server.stats.upload_bytes,
             download_bytes=self.server.stats.download_bytes,
             upload_dense_bytes=self.server.stats.upload_dense_bytes,

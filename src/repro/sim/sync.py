@@ -205,6 +205,8 @@ class SynchronousTrainer:
             total_iterations=self.rounds * n,
             samples_processed=samples,
             mean_staleness=0.0,  # the barrier makes every gradient current
+            staleness_p50=0.0,  # defined by construction, so 0.0 not NaN;
+            staleness_p99=0.0,  # worker_staleness stays None (no server)
             upload_bytes=transport.stats.upload_bytes,
             download_bytes=transport.stats.download_bytes,
             upload_dense_bytes=transport.stats.upload_dense_bytes,

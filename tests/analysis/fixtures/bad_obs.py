@@ -1,0 +1,22 @@
+"""Deliberately bad module for OBS001: inline telemetry names outside obs/.
+
+Never imported — parsed only.  Each construct spells a span/metric name
+as an inline string instead of referencing the registered constant in
+``repro.obs.names``; the tests assert exact finding counts against this
+file.
+"""
+
+from repro.obs import names as obs_names
+
+__all__ = ["instrumented_step"]
+
+
+def instrumented_step(tracer, registry, worker_id):
+    with tracer.span("worker.step", cat="worker", worker=worker_id):  # OBS001: registered, inline
+        registry.counter("comm.upload_bytes", worker=worker_id).inc(128)  # OBS001
+        registry.histogram("server.latency_s", worker=worker_id).observe(0.1)  # OBS001: unregistered
+        registry.gauge("QueueDepth", worker=worker_id).set(3)  # OBS001: bad format
+    tracer.add_span("worker.compute", 0.0, 1.0, cat="worker")  # OBS001
+    # Referencing the constant is the clean spelling — no finding:
+    with tracer.span(obs_names.WORKER_APPLY, cat="worker", worker=worker_id):
+        pass

@@ -87,6 +87,38 @@ class TestCommFixture:
         )
         assert not [f for f in findings if f.rule == "COM001"]
 
+
+class TestObsFixture:
+    def test_exact_finding_counts(self):
+        counts = Counter(f.rule for f in lint_fixture("bad_obs.py"))
+        assert counts == {"OBS001": 5}
+
+    def test_messages_distinguish_the_failure_modes(self):
+        messages = [f.message for f in lint_fixture("bad_obs.py") if f.rule == "OBS001"]
+        # registered name spelled inline
+        assert any("'worker.step'" in m and "constant" in m for m in messages)
+        # valid format but unregistered
+        assert any("'server.latency_s'" in m and "register it" in m for m in messages)
+        # not even dot.separated lowercase
+        assert any("'QueueDepth'" in m and "dot.separated" in m for m in messages)
+
+    def test_constant_reference_is_clean(self):
+        # the fixture's obs_names.WORKER_APPLY call must produce nothing
+        names = [m.split("'")[1] for m in
+                 (f.message for f in lint_fixture("bad_obs.py") if f.rule == "OBS001")]
+        assert "worker.apply" not in names
+
+    def test_silent_inside_obs(self):
+        allowed = LintConfig(
+            hot_path_prefixes=("",),
+            tensor_mutation_allowed=(),
+            telemetry_name_allowed=("",),
+        )
+        findings = lint_file(
+            FIXTURES / "bad_obs.py", default_rules(), config=allowed, root=FIXTURES
+        )
+        assert not [f for f in findings if f.rule == "OBS001"]
+
     def test_relative_codec_reexport_not_flagged(self):
         # ps/__init__.py re-exports the codec names via `from .codec import …`;
         # COM001 targets framing, not re-exports
@@ -179,6 +211,7 @@ def test_rule_index_is_complete():
         "DTY001",
         "TEN001",
         "COM001",
+        "OBS001",
         "PERF001",
         "NOQ001",
     }

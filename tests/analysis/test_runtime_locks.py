@@ -222,7 +222,7 @@ class TestGuardedAttrsConsistency:
         class Double(ParameterServer):
             pass
 
-        assert guarded_attrs_of(Double) == ("tracker", "staleness_meter")
+        assert guarded_attrs_of(Double) == ("tracker", "staleness_meter", "worker_staleness")
 
     def test_undeclared_classes_return_none(self):
         assert guarded_attrs_of(object) is None

@@ -6,7 +6,14 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm import CloseFrame, DiffFrame, GradientFrame, decode_frame, encode_frame
+from repro.comm import (
+    CloseFrame,
+    DiffFrame,
+    GradientFrame,
+    TelemetryFrame,
+    decode_frame,
+    encode_frame,
+)
 from repro.compression import BitmapTensor, DenseTensor, QuantizedSparseTensor, SparseTensor
 from repro.compression.qsgd import QSGDTensor
 from repro.compression.terngrad import TernaryTensor
@@ -142,3 +149,64 @@ def test_close_frame_roundtrip(worker, samples, state, error):
         worker_id=worker, samples_processed=samples, worker_state_bytes=state, error=error
     )
     assert decode_frame(encode_frame(frame)) == frame
+
+
+#: JSON-representable scalar values for span/metric record fields
+_json_scalars = st.none() | st.booleans() | st.integers(-(2**53), 2**53) | st.text(max_size=20)
+
+#: span-ish records: unicode names exercise the utf-8 body encoding
+_span_records = st.fixed_dictionaries(
+    {
+        "type": st.just("span"),
+        "name": st.text(min_size=1, max_size=40),
+        "ts": st.floats(0, 1e6, allow_nan=False),
+        "dur": st.floats(0, 1e3, allow_nan=False),
+    },
+    optional={
+        "cat": st.text(max_size=10),
+        "proc": st.text(max_size=10),
+        "args": st.dictionaries(st.text(min_size=1, max_size=10), _json_scalars, max_size=3),
+    },
+)
+
+_metric_records = st.fixed_dictionaries(
+    {
+        "type": st.just("metric"),
+        "name": st.text(min_size=1, max_size=40),
+        "kind": st.sampled_from(["counter", "gauge", "histogram"]),
+        "value": st.floats(-1e9, 1e9, allow_nan=False),
+    },
+    optional={"labels": st.dictionaries(st.text(min_size=1, max_size=10), _json_scalars, max_size=3)},
+)
+
+
+@given(
+    worker=st.integers(0, 2**31 - 1),
+    spans=st.lists(_span_records, max_size=8),
+    metrics=st.lists(_metric_records, max_size=4),
+)
+@settings(max_examples=120, deadline=None)
+def test_telemetry_frame_roundtrip(worker, spans, metrics):
+    """Any JSON-able span/metric batch round-trips exactly — including the
+    empty batch (a traced worker that emitted nothing still ships a frame)
+    and unicode span names (the body is utf-8, not ascii-escaped)."""
+    frame = TelemetryFrame(worker_id=worker, spans=tuple(spans), metrics=tuple(metrics))
+    out = decode_frame(encode_frame(frame))
+    assert isinstance(out, TelemetryFrame)
+    assert out.worker_id == worker
+    assert list(out.spans) == spans
+    assert list(out.metrics) == metrics
+    # Diagnostic side channel: telemetry never counts as payload traffic.
+    assert frame.nbytes() == 0 and out.dense_nbytes() == 0
+
+
+@given(spans=st.lists(_span_records, min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_telemetry_frames_are_independent_per_worker(spans):
+    """Multi-worker shipping: each worker's frame decodes to its own id and
+    records; concatenated wire buffers do not bleed into each other."""
+    frames = [TelemetryFrame(worker_id=w, spans=tuple(spans)) for w in range(3)]
+    for w, frame in enumerate(frames):
+        out = decode_frame(encode_frame(frame))
+        assert out.worker_id == w
+        assert list(out.spans) == spans
