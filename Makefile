@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels trace-smoke backend-matrix comm-smoke run-report-smoke
+.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels bench-shards trace-smoke backend-matrix comm-smoke run-report-smoke shard-smoke
 
 ## Static analysis: AST lint + lock discipline + lock graph + layering +
 ## sanitizer self-check.
@@ -54,6 +54,28 @@ run-report-smoke:
 	$(PYTHON) -m repro.obs check .run-smoke/ci --max-staleness-p99 64 --min-samples-per-sec 1
 	! $(PYTHON) -m repro.obs check .run-smoke/ci --max-staleness-p99 -1
 	rm -rf .run-smoke
+
+## Sharded parameter-server smoke: a 2-shard × 2-worker run on the
+## threaded AND process backends, each writing a run dir with per-shard
+## trace lanes and passing the health gate.  The process leg proves
+## shard-routed frames cross a real OS pipe; the impossible-SLO check
+## proves the gate still gates on sharded manifests.
+shard-smoke:
+	rm -rf .shard-smoke
+	$(PYTHON) -m repro.obs run-smoke --runs-dir .shard-smoke --run-id threaded --backend threaded --shards 2 --workers 2
+	$(PYTHON) -m repro.obs run-smoke --runs-dir .shard-smoke --run-id process --backend process --shards 2 --workers 2
+	$(PYTHON) -m repro.obs check .shard-smoke/threaded --max-staleness-p99 64 --min-samples-per-sec 1
+	$(PYTHON) -m repro.obs check .shard-smoke/process --max-staleness-p99 64 --min-samples-per-sec 1
+	! $(PYTHON) -m repro.obs check .shard-smoke/process --max-staleness-p99 -1
+	rm -rf .shard-smoke
+
+## Shard-contention gate: lock-wait p99 must stay non-increasing across
+## the 1/2/4/8-shard sweep and throughput ratios must stay within
+## tolerance of benchmarks/BENCH_shards.json.  Re-baseline after an
+## intentional change with:
+##   python benchmarks/bench_shard_contention.py --update
+bench-shards:
+	$(PYTHON) benchmarks/bench_shard_contention.py
 
 ## Traced 2-worker threaded + simulated runs, then validate the export
 ## (repro.obs convert exits non-zero on any schema violation).

@@ -38,6 +38,10 @@ LOCK_CLASS_REGISTRY: "tuple[LockClassEntry, ...]" = (
     LockClassEntry("compression.stats", "CompressionStats", "_mu"),
     # tracer: narrow lock guarding the cross-thread buffer list
     LockClassEntry("obs.tracer", "Tracer", "_merge_lock"),
+    # parameter-server shard: inherits ``self._lock`` from ParameterServer
+    # without assigning it in its own __init__, so convention discovery
+    # (which only walks a class's own __init__) cannot see it
+    LockClassEntry("ps.sharded", "ParameterShard", "_lock"),
 )
 
 

@@ -28,6 +28,7 @@ from .frames import (
     TelemetryFrame,
     decode_frame,
     encode_frame,
+    peek_shard,
     reply_frame,
 )
 from .pipe import PipeChannel, ServeReport, serve_pipe_channels
@@ -49,6 +50,7 @@ __all__ = [
     "TelemetryFrame",
     "encode_frame",
     "decode_frame",
+    "peek_shard",
     "reply_frame",
     "Channel",
     "ChannelClosed",

@@ -74,12 +74,22 @@ class ServerService:
         self.server = server
 
     def __call__(self, frame: GradientFrame):
+        shard = getattr(frame, "shard", -1)
+        if shard >= 0:
+            # Shard-addressed frame (routed off the header by the
+            # transport): dispatch straight to that shard and stamp the
+            # reply with the same shard id so the worker can reassemble.
+            return reply_frame(
+                self.server.handle_shard(shard, frame.message), shard=shard
+            )
         return reply_frame(self.server.handle(frame.message))
 
     def register_locks(self, registry) -> None:
         """Enroll every lock this service can acquire in a lock-order
-        :class:`~repro.analysis.concurrency.LockRegistry` (today: the
-        server lock; sharded servers will add one entry per shard)."""
+        :class:`~repro.analysis.concurrency.LockRegistry` (the single
+        server lock, or — via
+        :meth:`~repro.ps.sharded.ShardedParameterServer.register_lock` —
+        one entry per shard)."""
         self.server.register_lock(registry)
 
 

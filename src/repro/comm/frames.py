@@ -14,10 +14,10 @@ DGS's contribution is what travels on the wire in *both* directions
   is a crash; the serving loop reports it instead of hanging.
 
 The byte representation wraps the payload codec (``repro.ps.codec``) in a
-one-byte frame header, replacing the ad-hoc ``b"G"``/``b"S"`` tag bytes the
-process backend used to hand-roll::
+four-byte frame header, replacing the ad-hoc ``b"G"``/``b"S"`` tag bytes
+the process backend used to hand-roll::
 
-    frame    := magic u8 | kind u8 | body
+    frame    := magic u8 | kind u8 | shard i16 | body
     kind 0   : loss f64 | codec message                    (gradient)
     kind 1/2 : staleness i32 | codec message               (diff / model)
     kind 3   : worker i32 | samples i64 | state_bytes i64 |
@@ -26,6 +26,13 @@ process backend used to hand-roll::
 
 (`-1` in the close accounting fields means "not reported"; a zero-length
 error means "no error", so an empty error string normalises to ``None``.)
+
+``shard`` is the routing slot for a sharded server: ``-1`` addresses the
+whole server (the default — a sharded front-end fans the payload out
+itself), ``>= 0`` addresses one shard, and :func:`peek_shard` reads it
+from the fixed-size header so transports can route a frame to the right
+shard queue *without decoding the payload*.  Control frames (close /
+telemetry) always carry ``-1``.
 
 :class:`TelemetryFrame` (kind 4) is the observability side channel: a
 worker process ships its tracer spans and metric snapshots back to the
@@ -63,11 +70,12 @@ __all__ = [
     "reply_frame",
     "encode_frame",
     "decode_frame",
+    "peek_shard",
 ]
 
 FRAME_MAGIC = 0xDF  # one-byte frame magic ("Dual-way Frame")
 
-_HEADER = struct.Struct("<BB")  # magic, kind
+_HEADER = struct.Struct("<BBh")  # magic, kind, shard (-1 = whole server)
 _LOSS = struct.Struct("<d")
 _STALENESS = struct.Struct("<i")  # diff/model: the codec header has no slot for it
 _CLOSE = struct.Struct("<iqq")  # worker_id, samples, state_bytes (-1 ⇒ not reported)
@@ -88,6 +96,8 @@ class GradientFrame:
 
     message: GradientMessage
     loss: float
+    #: target shard for header-routed transports; -1 = whole server
+    shard: int = -1
 
     @property
     def worker_id(self) -> int:
@@ -106,6 +116,8 @@ class DiffFrame:
     """Downstream: the server's sparse model difference ``G_k``."""
 
     message: DiffMessage
+    #: originating shard for header-routed transports; -1 = whole server
+    shard: int = -1
 
     @property
     def worker_id(self) -> int:
@@ -123,6 +135,8 @@ class ModelFrame:
     """Downstream for vanilla ASGD / sync broadcast: the dense model."""
 
     message: ModelMessage
+    #: originating shard for header-routed transports; -1 = whole server
+    shard: int = -1
 
     @property
     def worker_id(self) -> int:
@@ -183,27 +197,45 @@ class TelemetryFrame:
 Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame | TelemetryFrame"
 
 
-def reply_frame(msg: "DiffMessage | ModelMessage") -> "DiffFrame | ModelFrame":
+def reply_frame(
+    msg: "DiffMessage | ModelMessage", shard: int = -1
+) -> "DiffFrame | ModelFrame":
     """Wrap a server reply message in its downstream frame type."""
     if isinstance(msg, DiffMessage):
-        return DiffFrame(msg)
+        return DiffFrame(msg, shard=shard)
     if isinstance(msg, ModelMessage):
-        return ModelFrame(msg)
+        return ModelFrame(msg, shard=shard)
     raise TypeError(f"not a downstream message: {type(msg).__name__}")
+
+
+def peek_shard(raw: "bytes | memoryview") -> int:
+    """Read the shard id off a frame header without decoding the payload.
+
+    The header is fixed-size, so a routing transport inspects the first
+    four bytes and forwards the (still-encoded) frame to the right shard
+    queue.  Returns ``-1`` for whole-server frames.
+    """
+    buf = memoryview(raw)
+    if len(buf) < _HEADER.size:
+        raise ValueError("truncated frame (no header)")
+    magic, _kind, shard = _HEADER.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC:
+        raise ValueError("bad magic: not a repro.comm frame")
+    return shard
 
 
 def encode_frame(frame: Frame) -> bytes:
     """Serialise any frame to its wire representation."""
     if isinstance(frame, GradientFrame):
         return (
-            _HEADER.pack(FRAME_MAGIC, _KIND_GRADIENT)
+            _HEADER.pack(FRAME_MAGIC, _KIND_GRADIENT, frame.shard)
             + _LOSS.pack(frame.loss)
             + encode_message(frame.message)
         )
     if isinstance(frame, (DiffFrame, ModelFrame)):
         kind = _KIND_DIFF if isinstance(frame, DiffFrame) else _KIND_MODEL
         return (
-            _HEADER.pack(FRAME_MAGIC, kind)
+            _HEADER.pack(FRAME_MAGIC, kind, frame.shard)
             + _STALENESS.pack(frame.message.staleness)
             + encode_message(frame.message)
         )
@@ -213,7 +245,7 @@ def encode_frame(frame: Frame) -> bytes:
             ensure_ascii=False,
         ).encode("utf-8")
         return (
-            _HEADER.pack(FRAME_MAGIC, _KIND_TELEMETRY)
+            _HEADER.pack(FRAME_MAGIC, _KIND_TELEMETRY, -1)
             + _TELEMETRY.pack(frame.worker_id, len(body))
             + body
         )
@@ -222,7 +254,7 @@ def encode_frame(frame: Frame) -> bytes:
         samples = -1 if frame.samples_processed is None else frame.samples_processed
         state = -1 if frame.worker_state_bytes is None else frame.worker_state_bytes
         return (
-            _HEADER.pack(FRAME_MAGIC, _KIND_CLOSE)
+            _HEADER.pack(FRAME_MAGIC, _KIND_CLOSE, -1)
             + _CLOSE.pack(frame.worker_id, samples, state)
             + _ERR_LEN.pack(len(err))
             + err
@@ -235,7 +267,7 @@ def decode_frame(raw: "bytes | memoryview") -> Frame:
     buf = memoryview(raw)
     if len(buf) < _HEADER.size:
         raise ValueError("truncated frame (no header)")
-    magic, kind = _HEADER.unpack_from(buf, 0)
+    magic, kind, shard = _HEADER.unpack_from(buf, 0)
     if magic != FRAME_MAGIC:
         raise ValueError("bad magic: not a repro.comm frame")
     off = _HEADER.size
@@ -244,7 +276,7 @@ def decode_frame(raw: "bytes | memoryview") -> Frame:
         msg = decode_message(buf[off + _LOSS.size :])
         if not isinstance(msg, GradientMessage):
             raise ValueError("gradient frame wraps a non-gradient message")
-        return GradientFrame(msg, loss)
+        return GradientFrame(msg, loss, shard=shard)
     if kind in (_KIND_DIFF, _KIND_MODEL):
         (staleness,) = _STALENESS.unpack_from(buf, off)
         msg = decode_message(buf[off + _STALENESS.size :])
@@ -252,7 +284,7 @@ def decode_frame(raw: "bytes | memoryview") -> Frame:
         if not isinstance(msg, expected):
             raise ValueError(f"frame kind {kind} wraps a {type(msg).__name__}")
         msg.staleness = staleness  # the codec header has no staleness slot
-        return reply_frame(msg)
+        return reply_frame(msg, shard=shard)
     if kind == _KIND_CLOSE:
         worker, samples, state = _CLOSE.unpack_from(buf, off)
         off += _CLOSE.size

@@ -14,6 +14,7 @@ from .layerops import (
     zeros_like_layers,
 )
 from .methods import METHODS, Hyper, MethodSpec, build_strategy, get_method, method_names
+from .partition import PartitionMap
 from .strategies import (
     DenseStrategy,
     DGCStrategy,
@@ -50,6 +51,7 @@ __all__ = [
     "SAMomentumStrategy",
     "SparsityRamp",
     "ModelDifferenceTracker",
+    "PartitionMap",
     "TernGradStrategy",
     "RandomDroppingStrategy",
     "DGSTernGradStrategy",

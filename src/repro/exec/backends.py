@@ -73,6 +73,7 @@ class ThreadedBackend(_BackendBase):
             schedule=config.schedule,
             secondary_compression=config.secondary_compression,
             staleness_damping=config.staleness_damping,
+            num_shards=config.num_shards,
             seed=config.seed,
             tracer=config.tracer,
             wire_fidelity=config.wire_fidelity,
@@ -102,6 +103,7 @@ class ProcessBackend(_BackendBase):
             schedule=config.schedule,
             secondary_compression=config.secondary_compression,
             staleness_damping=config.staleness_damping,
+            num_shards=config.num_shards,
             seed=config.seed,
             fail_at=config.fail_at,
             tracer=config.tracer,
@@ -136,6 +138,7 @@ class SimulatedBackend(_BackendBase):
             secondary_compression=config.secondary_compression,
             eval_every=config.eval_every,
             staleness_damping=config.staleness_damping,
+            num_shards=config.num_shards,
             fail_at=config.fail_at,
             record_trace=config.record_trace,
             logger=config.logger,

@@ -81,13 +81,19 @@ def build_server(
     staleness_damping: bool = False,
     arena: bool = False,
     arena_dtype: "object | None" = None,
+    num_shards: int = 1,
 ) -> "ParameterServer":
-    """A parameter server configured for ``method``'s downstream mode."""
+    """A parameter server configured for ``method``'s downstream mode.
+
+    ``num_shards=1`` builds the plain single-lock server — the sharded
+    front-end never sits between one lock and its callers — while
+    ``num_shards>1`` partitions the layers across independently locked
+    :class:`~repro.ps.sharded.ParameterShard` s behind a
+    :class:`~repro.ps.sharded.ShardedParameterServer`.
+    """
     from ..ps.server import ParameterServer
 
-    return ParameterServer(
-        theta0,
-        num_workers,
+    kwargs = dict(
         downstream=method.downstream,
         secondary_ratio=secondary_ratio_for(method, hyper, secondary_compression),
         secondary_min_sparse_size=hyper.min_sparse_size,
@@ -95,6 +101,11 @@ def build_server(
         arena=arena,
         arena_dtype=arena_dtype,
     )
+    if num_shards > 1:
+        from ..ps.sharded import ShardedParameterServer
+
+        return ShardedParameterServer(theta0, num_workers, num_shards, **kwargs)
+    return ParameterServer(theta0, num_workers, **kwargs)
 
 
 def build_worker(

@@ -45,6 +45,11 @@ class RunConfig:
     secondary_compression: "bool | None" = None
     #: gap-aware damping (paper ref. [4]); no-op under the sync barrier
     staleness_damping: bool = False
+    #: partition the parameter server across N independently locked shards
+    #: (whole layers, greedy by byte size — see docs/execution.md
+    #: "Sharding").  1 ⇒ today's single-lock server; no-op under the sync
+    #: barrier, which has no parameter server.
+    num_shards: int = 1
     seed: int = 0
     #: virtual-cluster model; used by the simulated/sync backends only
     #: (None ⇒ a symmetric 10 Gb/s default via ``resolved_cluster()``)
@@ -83,6 +88,8 @@ class RunConfig:
             raise ValueError("batch_size must be >= 1")
         if self.total_iterations < 1:
             raise ValueError("total_iterations must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
 
     # ------------------------------------------------------------------
     def iterations_per_worker(self) -> int:
@@ -123,6 +130,7 @@ class RunConfig:
             "seed": self.seed,
             "secondary_compression": self.secondary_compression,
             "staleness_damping": self.staleness_damping,
+            "num_shards": self.num_shards,
             "arena": self.arena,
             "arena_dtype": self.arena_dtype,
             "wire_fidelity": self.wire_fidelity,

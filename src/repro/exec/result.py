@@ -40,6 +40,9 @@ class TrainResult:
     #: backend registry name ("threaded", "process", "simulated", "sync")
     backend: str = ""
     num_workers: int = 0
+    #: parameter-server shards the run actually used (1 = single-lock
+    #: server; stays 1 on backends without a PS, e.g. the sync barrier)
+    num_shards: int = 1
     final_accuracy: float = float("nan")
     final_loss: float = float("nan")
     #: training loss against applied server updates (sync: against rounds)
@@ -165,6 +168,8 @@ def validate_result(
             problems.append(f"{name} is empty")
     if result.num_workers < 1:
         problems.append(f"num_workers={result.num_workers} < 1")
+    if result.num_shards < 1:
+        problems.append(f"num_shards={result.num_shards} < 1")
     if result.total_iterations < 1:
         problems.append(f"total_iterations={result.total_iterations} < 1")
     if result.samples_processed < 1:

@@ -174,12 +174,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_smoke(args: argparse.Namespace) -> int:
-    """Tiny traced *process-backend* run → run dir → health gate (CI).
+    """Tiny traced run → run dir → health gate (CI).
 
-    Exercises the whole telemetry pipeline: worker processes ship spans
-    back as TelemetryFrames, the parent merges them, the manifest is
-    written and checked.  ``--run-id`` is fixed so a Makefile can chain
-    ``obs check`` on the resulting directory deterministically.
+    With the default ``--backend process`` this exercises the whole
+    telemetry pipeline: worker processes ship spans back as
+    TelemetryFrames, the parent merges them, the manifest is written and
+    checked.  ``--shards N`` routes the same run through the sharded
+    parameter server, and the smoke then additionally demands one
+    ``shard-<i>`` trace lane per shard.  ``--run-id`` is fixed so a
+    Makefile can chain ``obs check`` on the resulting directory
+    deterministically.
     """
     from ..core.methods import Hyper
     from ..data.synthetic import make_blobs
@@ -189,7 +193,9 @@ def _cmd_run_smoke(args: argparse.Namespace) -> int:
     from .tracer import Tracer, use_tracer
 
     dataset = make_blobs(n_samples=256, num_classes=4, dim=12, seed=1)
-    tracer = Tracer(meta={"kind": "run-smoke", "workers": args.workers})
+    tracer = Tracer(
+        meta={"kind": "run-smoke", "workers": args.workers, "shards": args.shards}
+    )
     config = RunConfig(
         "dgs",
         lambda: MLP(12, (24,), 4, seed=7),
@@ -199,10 +205,11 @@ def _cmd_run_smoke(args: argparse.Namespace) -> int:
         total_iterations=args.workers * args.iterations,
         hyper=Hyper(ratio=0.1, min_sparse_size=0),
         seed=0,
+        num_shards=args.shards,
         tracer=tracer,
     )
     with use_tracer(tracer):
-        result = train(config, backend="process")
+        result = train(config, backend=args.backend)
 
     run_dir = write_run_dir(
         args.runs_dir,
@@ -212,19 +219,33 @@ def _cmd_run_smoke(args: argparse.Namespace) -> int:
         records=tracer.records(),
     )
     manifest = _load(run_dir)
-    procs = {
-        rec.get("proc")
-        for rec in tracer.records()
-        if rec.get("type") == "span" and rec.get("proc")
+    num_shards = manifest["result"]["num_shards"]
+    spans = [rec for rec in tracer.records() if rec.get("type") == "span"]
+    procs = {rec.get("proc") for rec in spans if rec.get("proc")}
+    shard_lanes = {
+        rec["tid"] for rec in spans if str(rec.get("tid", "")).startswith("shard-")
     }
     print(
         f"wrote {run_dir}: backend={manifest['backend']} "
-        f"worker lanes={sorted(procs)}",
+        f"shards={num_shards} worker lanes={sorted(procs)} "
+        f"shard lanes={sorted(shard_lanes)}",
         file=sys.stderr,
     )
-    if len(procs) < args.workers:
+    if args.backend == "process" and len(procs) < args.workers:
+        # threaded workers share the main process, so proc lanes only
+        # gate the backend that actually crosses a process boundary
         print(
             f"run-smoke failed: expected {args.workers} worker span lanes, got {sorted(procs)}",
+            file=sys.stderr,
+        )
+        return 1
+    expected_lanes = (
+        {f"shard-{i}" for i in range(num_shards)} if args.shards > 1 else set()
+    )
+    if shard_lanes != expected_lanes:
+        print(
+            f"run-smoke failed: expected shard trace lanes {sorted(expected_lanes)}, "
+            f"got {sorted(shard_lanes)}",
             file=sys.stderr,
         )
         return 1
@@ -283,6 +304,15 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run_smoke.add_argument("--run-id", default="run-smoke", help="fixed id (deterministic path)")
     p_run_smoke.add_argument("--workers", type=int, default=2)
     p_run_smoke.add_argument("--iterations", type=int, default=4, help="iterations per worker")
+    p_run_smoke.add_argument(
+        "--shards", type=int, default=1, help="parameter-server shards (1 = single lock)"
+    )
+    p_run_smoke.add_argument(
+        "--backend",
+        default="process",
+        choices=("process", "threaded"),
+        help="execution backend to smoke (default: process)",
+    )
     p_run_smoke.set_defaults(fn=_cmd_run_smoke)
 
     args = parser.parse_args(argv)

@@ -31,6 +31,7 @@ __all__ = [
     "METRIC_SERVER_LOCK_WAIT_S",
     "METRIC_SERVER_STALENESS",
     "METRIC_UPLOAD_BYTES",
+    "SERVER_FANOUT",
     "SERVER_HANDLE",
     "SERVER_LOCK_WAIT",
     "WORKER_APPLY",
@@ -55,6 +56,10 @@ COMM_RECV = "comm.recv"
 SERVER_HANDLE = "server.handle"
 #: the request waiting for the server lock (contention signal)
 SERVER_LOCK_WAIT = "server.lock_wait"
+#: a sharded front-end splitting one update across shards and merging
+#: the replies (covers split + per-shard handles + merge; the per-shard
+#: work shows up as ``server.handle`` spans on ``shard-<n>`` lanes)
+SERVER_FANOUT = "server.fanout"
 
 # -- metric series names ------------------------------------------------
 #: per-worker staleness distribution at the server (histogram)

@@ -4,6 +4,7 @@ from .codec import decode_message, encode_message
 from .messages import DiffMessage, GradientMessage, ModelMessage, payload_dense_nbytes, payload_nbytes
 from .process import ProcessResult, ProcessTrainer
 from .server import ParameterServer
+from .sharded import ParameterShard, ShardedParameterServer
 from .threaded import ThreadedResult, ThreadedTrainer
 from .worker import WorkerNode
 
@@ -18,6 +19,8 @@ __all__ = [
     "payload_nbytes",
     "payload_dense_nbytes",
     "ParameterServer",
+    "ParameterShard",
+    "ShardedParameterServer",
     "WorkerNode",
     "ThreadedTrainer",
     "ThreadedResult",

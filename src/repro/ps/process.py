@@ -138,6 +138,7 @@ class ProcessTrainer:
         schedule: Schedule | None = None,
         secondary_compression: bool | None = None,
         staleness_damping: bool = False,
+        num_shards: int = 1,
         seed: int = 0,
         fail_at: "Mapping[int, int] | None" = None,
         tracer: "object | None" = None,
@@ -171,6 +172,7 @@ class ProcessTrainer:
             staleness_damping=staleness_damping,
             arena=arena,
             arena_dtype=arena_dtype,
+            num_shards=num_shards,
         )
 
     def run(self) -> TrainResult:
@@ -246,6 +248,7 @@ class ProcessTrainer:
             method=self.method.name,
             backend="process",
             num_workers=self.num_workers,
+            num_shards=getattr(self.server, "num_shards", 1),
             final_accuracy=acc,
             final_loss=loss,
             loss_vs_step=loss_curve,

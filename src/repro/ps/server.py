@@ -31,11 +31,51 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import current_tracer
 from .messages import DiffMessage, GradientMessage, ModelMessage
 
-__all__ = ["ParameterServer", "STALENESS_BUCKETS"]
+__all__ = [
+    "ParameterServer",
+    "STALENESS_BUCKETS",
+    "LOCK_SECONDS_BUCKETS",
+    "summarize_staleness",
+]
 
 #: histogram bucket upper bounds for staleness (update counts, not
 #: seconds — the +Inf slot catches anything above 128 timestamps)
 STALENESS_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: half-decade bucket bounds for the lock wait/hold series.  Lock events
+#: live in the µs–ms range; the coarse decade-wide default buckets put
+#: p99 interpolation error at ~10×, which would drown the shard-count
+#: effect the contention benchmark measures.
+LOCK_SECONDS_BUCKETS = (
+    1e-6, 3.16e-6, 1e-5, 3.16e-5, 1e-4, 3.16e-4,
+    1e-3, 3.16e-3, 1e-2, 3.16e-2, 0.1, 0.316, 1.0,
+)
+
+
+def summarize_staleness(
+    per_worker_values: "Mapping[int, list[int]]",
+) -> "dict[str, object]":
+    """Pure aggregation of raw per-worker staleness observations.
+
+    Kept outside the server class (and outside any lock) so callers that
+    fan in over N shards — N snapshot calls per report — pay for the
+    percentile math once, on merged data, with no lock held.
+    """
+    all_values = [s for values in per_worker_values.values() for s in values]
+    per_worker = {
+        w: {
+            "count": len(values),
+            "mean": float(np.mean(values)),
+            "p50": float(np.percentile(values, 50)),
+            "p99": float(np.percentile(values, 99)),
+        }
+        for w, values in sorted(per_worker_values.items())
+    }
+    return {
+        "p50": float(np.percentile(all_values, 50)) if all_values else float("nan"),
+        "p99": float(np.percentile(all_values, 99)) if all_values else float("nan"),
+        "per_worker": per_worker,
+    }
 
 
 class ParameterServer:
@@ -58,6 +98,7 @@ class ParameterServer:
         staleness_damping: bool = False,
         arena: bool = False,
         arena_dtype: "np.dtype | type | str | None" = None,
+        shard: int | None = None,
     ) -> None:
         if downstream not in ("difference", "model"):
             raise ValueError(f"downstream must be 'difference' or 'model', got {downstream!r}")
@@ -106,6 +147,16 @@ class ParameterServer:
         #: incoming update by 1/(staleness + 1) before applying it, damping
         #: the implicit momentum that asynchrony introduces.
         self.staleness_damping = staleness_damping
+        #: shard id when this server is one partition of a
+        #: :class:`~repro.ps.sharded.ShardedParameterServer` (labels the
+        #: telemetry series and trace lanes); ``None`` = unsharded.
+        self.shard = shard
+        #: server memory (M + all v_k + θ0), fixed at construction — every
+        #: buffer is preallocated above, so this is cached once instead of
+        #: being recomputed under the lock on each report call.
+        self.state_bytes = self.tracker.server_state_bytes() + sum(
+            a.nbytes for a in self.theta0.values()
+        )
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -147,36 +198,50 @@ class ParameterServer:
         # the tracer spans below; the registry is self-synchronising, so
         # it is not server-lock-guarded state.
         hold = t_done - t_acquired
+        labels = {"worker": msg.worker_id}
+        if self.shard is not None:
+            labels["shard"] = self.shard
         metrics = self.metrics
         metrics.histogram(
             obs_names.METRIC_SERVER_STALENESS,
             buckets=STALENESS_BUCKETS,
-            worker=msg.worker_id,
+            **labels,
         ).observe(staleness)
         metrics.histogram(
-            obs_names.METRIC_SERVER_LOCK_WAIT_S, worker=msg.worker_id
+            obs_names.METRIC_SERVER_LOCK_WAIT_S,
+            buckets=LOCK_SECONDS_BUCKETS,
+            **labels,
         ).observe(wait)
         metrics.histogram(
-            obs_names.METRIC_SERVER_LOCK_HOLD_S, worker=msg.worker_id
+            obs_names.METRIC_SERVER_LOCK_HOLD_S,
+            buckets=LOCK_SECONDS_BUCKETS,
+            **labels,
         ).observe(hold)
 
         tracer = current_tracer()
         if tracer.enabled:
             # Emitted outside the lock (no tracing cost added to hold time);
             # wall-clock domain — the simulator stamps its own virtual-time
-            # server spans from the event timeline instead.
+            # server spans from the event timeline instead.  Shards emit on
+            # their own ``shard-<n>`` lane so the Chrome view shows the
+            # partitions working side by side.
+            tid = "" if self.shard is None else f"shard-{self.shard}"
             tracer.add_span(
                 obs_names.SERVER_LOCK_WAIT,
                 t_request,
                 t_acquired,
+                tid=tid,
                 cat="server",
                 domain="wall",
-                args={"worker": msg.worker_id},
+                args={"worker": msg.worker_id, **(
+                    {"shard": self.shard} if self.shard is not None else {}
+                )},
             )
             tracer.add_span(
                 obs_names.SERVER_HANDLE,
                 t_acquired,
                 t_done,
+                tid=tid,
                 cat="server",
                 domain="wall",
                 args={
@@ -184,11 +249,18 @@ class ParameterServer:
                     "staleness": staleness,
                     "up_bytes": msg.nbytes(),
                     "down_bytes": reply.nbytes(),
+                    **({"shard": self.shard} if self.shard is not None else {}),
                 },
             )
         return reply
 
     # ------------------------------------------------------------------
+    def raw_staleness(self) -> "dict[int, list[int]]":
+        """Snapshot the raw per-worker staleness lists (lock held only for
+        the copy — aggregation happens in :func:`summarize_staleness`)."""
+        with self._lock:
+            return {w: list(v) for w, v in self.worker_staleness.items()}
+
     def staleness_summary(self) -> "dict[str, object]":
         """Exact staleness percentiles from the raw observations.
 
@@ -199,23 +271,7 @@ class ParameterServer:
         measure staleness at all report ``None`` fields on TrainResult
         instead (see docs/execution.md).
         """
-        with self._lock:
-            per_worker_values = {w: list(v) for w, v in self.worker_staleness.items()}
-        all_values = [s for values in per_worker_values.values() for s in values]
-        per_worker = {
-            w: {
-                "count": len(values),
-                "mean": float(np.mean(values)),
-                "p50": float(np.percentile(values, 50)),
-                "p99": float(np.percentile(values, 99)),
-            }
-            for w, values in sorted(per_worker_values.items())
-        }
-        return {
-            "p50": float(np.percentile(all_values, 50)) if all_values else float("nan"),
-            "p99": float(np.percentile(all_values, 99)) if all_values else float("nan"),
-            "per_worker": per_worker,
-        }
+        return summarize_staleness(self.raw_staleness())
 
     def global_model(self) -> "OrderedDict[str, np.ndarray]":
         """Materialise θ_t = θ_0 + M_t for evaluation (thread-safe)."""
@@ -228,11 +284,13 @@ class ParameterServer:
             return self.tracker.t
 
     def server_state_bytes(self) -> int:
-        """Server memory: M + all v_k (+ θ0 kept for evaluation)."""
-        with self._lock:
-            return self.tracker.server_state_bytes() + sum(
-                a.nbytes for a in self.theta0.values()
-            )
+        """Server memory: M + all v_k (+ θ0 kept for evaluation).
+
+        Returns the value cached at construction — every buffer is
+        preallocated, so the size never changes and the report path takes
+        no lock (shard fan-in calls this N times per report).
+        """
+        return self.state_bytes
 
     # ------------------------------------------------------------------
     def register_lock(self, registry, name: str = "ps") -> None:

@@ -57,6 +57,7 @@ class ThreadedTrainer:
         schedule: Schedule | None = None,
         secondary_compression: bool | None = None,
         staleness_damping: bool = False,
+        num_shards: int = 1,
         seed: int = 0,
         tracer: "Tracer | NullTracer | None" = None,
         wire_fidelity: bool = False,
@@ -82,6 +83,7 @@ class ThreadedTrainer:
             staleness_damping=staleness_damping,
             arena=arena,
             arena_dtype=arena_dtype,
+            num_shards=num_shards,
         )
         self.workers: list[WorkerNode] = build_workers(
             num_workers,
@@ -167,6 +169,7 @@ class ThreadedTrainer:
             method=self.method.name,
             backend="threaded",
             num_workers=self.num_workers,
+            num_shards=getattr(self.server, "num_shards", 1),
             final_accuracy=acc,
             final_loss=loss,
             loss_vs_step=self.loss_curve,

@@ -85,6 +85,7 @@ class SimulatedTrainer:
         secondary_compression: bool | None = None,
         eval_every: int | None = None,
         staleness_damping: bool = False,
+        num_shards: int = 1,
         fail_at: "dict[int, int] | None" = None,
         record_trace: bool = False,
         logger: "object | None" = None,
@@ -129,6 +130,7 @@ class SimulatedTrainer:
             staleness_damping=staleness_damping,
             arena=arena,
             arena_dtype=arena_dtype,
+            num_shards=num_shards,
         )
         # Worker 0 reuses the reference model (its BatchNorm statistics
         # then reflect actual training data for _evaluate_global).
@@ -265,6 +267,7 @@ class SimulatedTrainer:
             method=self.method.name,
             backend="simulated",
             num_workers=cluster.num_workers,
+            num_shards=getattr(self.server, "num_shards", 1),
             final_accuracy=final_acc,
             final_loss=final_loss,
             loss_vs_step=loss_vs_step,

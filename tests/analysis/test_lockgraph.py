@@ -40,6 +40,48 @@ class TestAbbaCycle:
         assert "Auditor.reconcile -> Ledger.balance" in vias
 
 
+class TestShardAbbaCycle:
+    """A deliberate cross-shard nesting inversion must be caught.
+
+    The sharded parameter server stays cycle-free by fanning out one
+    shard at a time; this fixture reintroduces the classic mistake —
+    reading a sibling shard while holding your own lock, in both
+    directions — and pins down that the graph checker reports it as
+    exactly one LCK004 cycle."""
+
+    def test_exactly_one_lck004(self):
+        counts = Counter(f.rule for f in fixture_findings("shard_abba.py"))
+        assert counts == {"LCK004": 1}
+
+    def test_finding_names_both_shard_classes(self):
+        (f,) = fixture_findings("shard_abba.py")
+        assert "shard_abba.ShardAlpha" in f.message
+        assert "shard_abba.ShardBeta" in f.message
+        assert "ABBA" in f.message
+
+    def test_edges_carry_cross_shard_witnesses(self):
+        graph = build_lock_graph(FIXTURES, paths=[FIXTURES / "shard_abba.py"])
+        assert set(graph.nodes) == {"shard_abba.ShardAlpha", "shard_abba.ShardBeta"}
+        vias = {e.via for e in graph.edges}
+        assert "ShardAlpha.apply -> ShardBeta.total" in vias
+        assert "ShardBeta.rebalance -> ShardAlpha.total" in vias
+
+    def test_dynamic_registry_records_the_inversion(self):
+        import importlib.util
+
+        from repro.analysis.concurrency import LockRegistry
+
+        spec = importlib.util.spec_from_file_location(
+            "shard_abba", FIXTURES / "shard_abba.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        registry = LockRegistry()
+        module.drive(registry)
+        inversions = registry.inversions()
+        assert inversions, "both nesting orders ran; the registry must object"
+
+
 class TestBlockingUnderLock:
     def test_exactly_three_lck005(self):
         counts = Counter(f.rule for f in fixture_findings("blocking_locks.py"))
@@ -85,3 +127,6 @@ def test_src_tree_graph_enrolls_known_lock_owners():
     assert "ps.server.ParameterServer" in graph.nodes
     assert "compression.stats.CompressionStats" in graph.nodes
     assert "obs.tracer.Tracer" in graph.nodes
+    # ParameterShard inherits its lock from ParameterServer.__init__, so
+    # convention discovery can't see it — the registry entry must
+    assert "ps.sharded.ParameterShard" in graph.nodes

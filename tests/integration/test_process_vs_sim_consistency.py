@@ -169,6 +169,71 @@ class TestCrossBackendParity:
         assert totals["threaded"] == totals["process"] == totals["simulated"]
         assert all(v > 0 for v in totals["threaded"])
 
+    def test_sharding_bitwise_identical_dense_asgd_float64(self, ds, factory):
+        """The tentpole invariant: partitioning the server across shards
+        must not change the math.  Dense ASGD with one worker at float64
+        has no scheduling freedom and no rounding headroom, so sharded
+        threaded ≡ unsharded threaded ≡ simulated — bitwise."""
+        runs = {}
+        for backend, shards in (
+            ("threaded", 4),
+            ("threaded", 1),
+            ("simulated", 1),
+            ("simulated", 4),
+        ):
+            config = RunConfig(
+                "asgd",
+                factory,
+                ds,
+                num_workers=1,
+                batch_size=16,
+                total_iterations=30,
+                hyper=DENSE_HYPER,
+                seed=0,
+                num_shards=shards,
+                arena=True,
+                arena_dtype="float64",
+            )
+            trainer = Trainer(config, backend=backend)
+            result = trainer.run()
+            assert result.num_shards == shards
+            runs[(backend, shards)] = dict(trainer.engine.server.global_model())
+        reference = runs[("threaded", 1)]
+        for key, params in runs.items():
+            assert list(params) == list(reference)
+            for name in reference:
+                np.testing.assert_array_equal(
+                    params[name], reference[name], err_msg=f"{key}/{name}"
+                )
+
+    def test_sharding_preserves_dgs_loss_curve_on_simulator(self, ds, factory):
+        """DGS with secondary compression, multiple workers: the simulated
+        backend is fully deterministic, so the sharded run must reproduce
+        the unsharded loss curve and final model exactly — top-k selection
+        is per-layer and never crosses a shard boundary."""
+        curves = {}
+        models = {}
+        for shards in (1, 3):
+            config = RunConfig(
+                "dgs",
+                factory,
+                ds,
+                num_workers=3,
+                batch_size=16,
+                total_iterations=60,
+                hyper=HYPER,
+                secondary_compression=True,
+                seed=0,
+                num_shards=shards,
+            )
+            trainer = Trainer(config, backend="simulated")
+            result = trainer.run()
+            curves[shards] = list(result.loss_vs_step.ys)
+            models[shards] = dict(trainer.engine.server.global_model())
+        assert curves[1] == curves[3]
+        for name in models[1]:
+            np.testing.assert_array_equal(models[1][name], models[3][name])
+
     def test_every_registered_backend_returns_valid_unified_result(self, ds, factory):
         config = RunConfig(
             "dgs",

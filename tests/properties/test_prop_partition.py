@@ -1,0 +1,100 @@
+"""Property tests for the layer→shard PartitionMap.
+
+The sharded server's correctness rests on three structural facts: the
+partition is exact (every layer to exactly one shard), balanced (greedy
+LPT bound), and self-consistent (``shard_of`` ↔ per-shard layer lists ↔
+split/merge round-trip).  Hypothesis drives arbitrary layer-name/shape
+sets through all three.
+"""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PartitionMap
+
+layer_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), whitelist_characters="._/"),
+    min_size=1,
+    max_size=12,
+)
+
+shapes_strategy = st.dictionaries(
+    keys=layer_names,
+    values=st.lists(st.integers(min_value=1, max_value=40), min_size=1, max_size=3).map(tuple),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(shapes=shapes_strategy, num_shards=st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_every_layer_assigned_exactly_once(shapes, num_shards):
+    pm = PartitionMap(shapes, num_shards)
+    seen: list[str] = []
+    for s in range(pm.num_shards):
+        seen.extend(pm.layers(s))
+    assert sorted(seen) == sorted(shapes)  # exactly once, no shard overlap
+    for s in range(pm.num_shards):
+        for name in pm.layers(s):
+            assert pm.shard_of(name) == s
+
+
+@given(shapes=shapes_strategy, num_shards=st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_no_shard_exceeds_greedy_bound(shapes, num_shards):
+    """Largest-first greedy keeps every shard within total/N + max layer."""
+    pm = PartitionMap(shapes, num_shards, itemsize=8)
+    sizes = {n: int(np.prod(shape)) * 8 for n, shape in shapes.items()}
+    total = sum(sizes.values())
+    bound = total / pm.num_shards + max(sizes.values())
+    for s in range(pm.num_shards):
+        assert pm.shard_bytes(s) == sum(sizes[n] for n in pm.layers(s))
+        assert pm.shard_bytes(s) <= bound
+    assert pm.total_bytes == total
+    # no shard is empty: num_shards is clamped to the layer count
+    assert pm.num_shards == min(num_shards, len(shapes))
+    assert all(pm.layers(s) for s in range(pm.num_shards))
+
+
+@given(shapes=shapes_strategy, num_shards=st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_split_merge_round_trip_preserves_order_and_identity(shapes, num_shards):
+    pm = PartitionMap(shapes, num_shards)
+    payload = OrderedDict((n, np.full(shape, i, dtype=np.float64))
+                          for i, (n, shape) in enumerate(shapes.items()))
+    parts = pm.split(payload)
+    assert len(parts) == pm.num_shards
+    # each part holds exactly its shard's layers, in original model order
+    for s, part in enumerate(parts):
+        assert tuple(part) == tuple(n for n in pm.layers(s) if n in payload)
+    merged = pm.merge(parts)
+    assert list(merged) == list(payload)  # keys AND order
+    for name in payload:
+        assert merged[name] is payload[name]  # identity, no copies
+
+
+@given(shapes=shapes_strategy, num_shards=st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_partition_is_deterministic(shapes, num_shards):
+    a = PartitionMap(shapes, num_shards)
+    b = PartitionMap(OrderedDict(shapes), num_shards)
+    assert all(a.layers(s) == b.layers(s) for s in range(a.num_shards))
+
+
+@given(shapes=shapes_strategy)
+@settings(max_examples=50, deadline=None)
+def test_single_shard_is_the_whole_model(shapes):
+    pm = PartitionMap(shapes, 1)
+    assert pm.num_shards == 1
+    assert pm.layers(0) == tuple(shapes)
+
+
+def test_split_tolerates_sparse_payloads_missing_layers():
+    pm = PartitionMap({"a": (4,), "b": (4,), "c": (4,)}, 2)
+    payload = {"a": np.ones(4)}
+    parts = pm.split(payload)
+    assert sum(len(p) for p in parts) == 1
+    assert list(pm.merge(parts)) == ["a"]
