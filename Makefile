@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels bench-shards trace-smoke backend-matrix comm-smoke run-report-smoke shard-smoke
+.PHONY: lint arch-check concurrency-smoke test bench-smoke bench-kernels bench-shards trace-smoke backend-matrix comm-smoke run-report-smoke shard-smoke socket-smoke
 
 ## Static analysis: AST lint + lock discipline + lock graph + layering +
 ## sanitizer self-check.
@@ -68,6 +68,20 @@ shard-smoke:
 	$(PYTHON) -m repro.obs check .shard-smoke/process --max-staleness-p99 64 --min-samples-per-sec 1
 	! $(PYTHON) -m repro.obs check .shard-smoke/process --max-staleness-p99 -1
 	rm -rf .shard-smoke
+
+## Socket-backend smoke: a 2-shard × 2-worker elastic run over real TCP
+## loopback (forked workers connect + register through the membership
+## handshake) writes a run dir and passes the health gate; then
+## checkpoint → restore → continue must reproduce the uninterrupted
+## run's loss curve bitwise (`python -m repro.ps smoke` exits non-zero
+## on any float of divergence).
+socket-smoke:
+	rm -rf .socket-smoke
+	$(PYTHON) -m repro.obs run-smoke --runs-dir .socket-smoke --run-id socket --backend socket --shards 2 --workers 2
+	$(PYTHON) -m repro.obs check .socket-smoke/socket --max-staleness-p99 64 --min-samples-per-sec 1
+	! $(PYTHON) -m repro.obs check .socket-smoke/socket --max-staleness-p99 -1
+	$(PYTHON) -m repro.ps smoke --checkpoint .socket-smoke/smoke.ckpt
+	rm -rf .socket-smoke
 
 ## Shard-contention gate: lock-wait p99 must stay non-increasing across
 ## the 1/2/4/8-shard sweep and throughput ratios must stay within

@@ -63,8 +63,28 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--backend",
         help="execution backend for the distributed runs (threaded | process "
-        "| simulated | sync); default: the simulated virtual cluster. "
-        "Wall-clock backends ignore the experiments' bandwidth settings",
+        "| socket | simulated | sync); default: the simulated virtual "
+        "cluster.  Wall-clock backends ignore the experiments' bandwidth "
+        "settings",
+    )
+    run_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="write a server checkpoint every N applied updates (threaded "
+        "and socket backends); requires --checkpoint",
+    )
+    run_p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="server checkpoint file (repro.ps.checkpoint flat-buffer "
+        "format) written by --checkpoint-every",
+    )
+    run_p.add_argument(
+        "--restore",
+        metavar="PATH",
+        help="restore server state from this checkpoint before training and "
+        "fast-forward each worker's data stream by its recorded update count",
     )
     run_p.add_argument(
         "--run-dir",
@@ -93,6 +113,19 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
+    if args.checkpoint_every is not None and not args.checkpoint:
+        print("error: --checkpoint-every requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.checkpoint_every is not None or args.restore:
+        from .exec import use_config_overrides
+
+        overrides: dict[str, object] = {}
+        if args.checkpoint_every is not None:
+            overrides["checkpoint_every"] = args.checkpoint_every
+            overrides["checkpoint_path"] = args.checkpoint
+        if args.restore:
+            overrides["restore_from"] = args.restore
+        obs_scope.enter_context(use_config_overrides(**overrides))
     if args.trace:
         from .obs import Tracer, profile_hot_paths, use_tracer
 

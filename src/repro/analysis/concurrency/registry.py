@@ -42,6 +42,10 @@ LOCK_CLASS_REGISTRY: "tuple[LockClassEntry, ...]" = (
     # without assigning it in its own __init__, so convention discovery
     # (which only walks a class's own __init__) cannot see it
     LockClassEntry("ps.sharded", "ParameterShard", "_lock"),
+    # elastic-membership directory: its lock is deliberately not named
+    # ``_lock`` (it guards only bookkeeping and must never nest with the
+    # server lock — see repro/ps/membership.py's lock discipline note)
+    LockClassEntry("ps.membership", "WorkerDirectory", "_members_mu"),
 )
 
 

@@ -1,13 +1,13 @@
 """COM001 — wire framing stays inside ``repro.comm``.
 
 The channel layer is the only place allowed to turn messages into bytes:
-``repro.comm`` owns frame encode/decode and pipe transport, and
-``ps/codec.py`` owns the payload codec it delegates to.  Anywhere else,
-``import struct``, ``multiprocessing.connection`` imports, or direct
-``encode_message`` / ``decode_message`` calls mean a trainer is growing
-its own ad-hoc wire protocol — exactly the duplication the channel layer
-exists to prevent, and a path where byte accounting silently diverges
-between backends.
+``repro.comm`` owns frame encode/decode and the pipe and TCP transports,
+and ``ps/codec.py`` owns the payload codec it delegates to.  Anywhere
+else, ``import struct``, ``import socket``, ``multiprocessing.connection``
+imports, or direct ``encode_message`` / ``decode_message`` calls mean a
+trainer is growing its own ad-hoc wire protocol — exactly the duplication
+the channel layer exists to prevent, and a path where byte accounting
+silently diverges between backends.
 """
 
 from __future__ import annotations
@@ -26,7 +26,7 @@ _CODEC_CALLS = {"encode_message", "decode_message"}
 
 class WireFramingRule(Rule):
     id = "COM001"
-    summary = "wire framing (struct / multiprocessing.connection / codec calls) outside repro.comm"
+    summary = "wire framing (struct / socket / multiprocessing.connection / codec calls) outside repro.comm"
 
     def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
         if module.may_do_wire_framing(config):
@@ -40,6 +40,13 @@ class WireFramingRule(Rule):
                             node,
                             "import of 'struct' outside repro.comm; byte framing "
                             "belongs in the channel layer (repro/comm)",
+                        )
+                    elif alias.name == "socket" or alias.name.startswith("socket."):
+                        yield self.finding(
+                            module,
+                            node,
+                            "import of 'socket' outside repro.comm; raw TCP belongs "
+                            "in the channel layer (use a SocketChannel/SocketListener)",
                         )
                     elif alias.name == "multiprocessing.connection":
                         yield self.finding(
@@ -56,6 +63,13 @@ class WireFramingRule(Rule):
                         node,
                         "import from 'struct' outside repro.comm; byte framing "
                         "belongs in the channel layer (repro/comm)",
+                    )
+                elif mod == "socket" or mod.startswith("socket."):
+                    yield self.finding(
+                        module,
+                        node,
+                        "import from 'socket' outside repro.comm; raw TCP belongs "
+                        "in the channel layer (use a SocketChannel/SocketListener)",
                     )
                 elif mod == "multiprocessing.connection" or (
                     mod == "multiprocessing"

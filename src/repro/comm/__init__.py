@@ -6,9 +6,17 @@ speaking the typed frame vocabulary of :mod:`repro.comm.frames`:
 * **threaded** — :class:`InProcChannel` (synchronous dispatch; optional
   wire-fidelity mode round-trips bytes through the real codec);
 * **process** — :class:`PipeChannel` + :func:`serve_pipe_channels`
-  (real bytes over OS pipes, crash-tolerant serving loop);
+  (real bytes over OS pipes);
+* **socket** — :class:`SocketChannel` + :class:`SocketListener` (real
+  bytes over TCP, loopback-ephemeral by default for CI);
 * **simulated / sync** — :class:`SimChannel` / :class:`SimTransport`
   (frames cost virtual link time on the paper's modelled testbed).
+
+The server side is one transport-agnostic loop —
+:func:`~repro.comm.service.serve_channels` driving a shared
+:class:`~repro.comm.service.ServerService` — with crash-to-partial-result
+semantics, telemetry absorption, elastic membership (join/leave control
+frames), and straggler eviction, identical under pipes and sockets.
 
 The channel layer owns byte accounting and ``comm.send`` / ``comm.recv``
 obs spans, so ``TrainResult`` byte fields and traces mean the same thing
@@ -16,11 +24,14 @@ on every substrate.  See ``docs/comm.md`` for the frame schema and the
 channel contract.
 """
 
-from . import channel, frames, pipe, protocol, sim
-from .channel import Channel, ChannelClosed, InProcChannel, ServerService
+from . import channel, frames, pipe, protocol, service, sim, socket
+from .channel import Channel, ChannelClosed, InProcChannel
 from .frames import (
+    CONTROL_JOIN,
+    CONTROL_LEAVE,
     FRAME_MAGIC,
     CloseFrame,
+    ControlFrame,
     DiffFrame,
     Frame,
     GradientFrame,
@@ -31,16 +42,20 @@ from .frames import (
     peek_shard,
     reply_frame,
 )
-from .pipe import PipeChannel, ServeReport, serve_pipe_channels
+from .pipe import PipeChannel, serve_pipe_channels
 from .protocol import run_worker_loop
+from .service import ServeReport, ServerService, serve_channels
 from .sim import SimChannel, SimTransfer, SimTransport
+from .socket import ChannelTimeout, SocketChannel, SocketListener
 
 __all__ = [
     "channel",
     "frames",
     "pipe",
     "protocol",
+    "service",
     "sim",
+    "socket",
     "FRAME_MAGIC",
     "Frame",
     "GradientFrame",
@@ -48,17 +63,24 @@ __all__ = [
     "ModelFrame",
     "CloseFrame",
     "TelemetryFrame",
+    "ControlFrame",
+    "CONTROL_JOIN",
+    "CONTROL_LEAVE",
     "encode_frame",
     "decode_frame",
     "peek_shard",
     "reply_frame",
     "Channel",
     "ChannelClosed",
+    "ChannelTimeout",
     "ServerService",
     "InProcChannel",
     "PipeChannel",
     "ServeReport",
     "serve_pipe_channels",
+    "serve_channels",
+    "SocketChannel",
+    "SocketListener",
     "SimChannel",
     "SimTransfer",
     "SimTransport",

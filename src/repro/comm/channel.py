@@ -24,23 +24,20 @@ that the process backend ships over OS pipes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol
+from typing import Protocol
 
-from ..compression.stats import CompressionStats
 from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
 from .frames import (
     CloseFrame,
+    ControlFrame,
     Frame,
     GradientFrame,
     TelemetryFrame,
     decode_frame,
     encode_frame,
-    reply_frame,
 )
-
-if TYPE_CHECKING:
-    from ..ps.server import ParameterServer
+from .service import ServerService  # the server side lives in comm.service now
 
 __all__ = ["Channel", "ChannelClosed", "ServerService", "InProcChannel"]
 
@@ -60,37 +57,6 @@ class Channel(Protocol):
 
     def close(self) -> None:
         """Release the transport; no further send/recv."""
-
-
-class ServerService:
-    """The server side of every channel: apply one frame, build the reply.
-
-    One instance per run, shared by all of that run's channels; thread
-    safety is the :class:`~repro.ps.server.ParameterServer` lock's job, so
-    concurrent callers (the threaded backend) contend exactly as before.
-    """
-
-    def __init__(self, server: "ParameterServer") -> None:
-        self.server = server
-
-    def __call__(self, frame: GradientFrame):
-        shard = getattr(frame, "shard", -1)
-        if shard >= 0:
-            # Shard-addressed frame (routed off the header by the
-            # transport): dispatch straight to that shard and stamp the
-            # reply with the same shard id so the worker can reassemble.
-            return reply_frame(
-                self.server.handle_shard(shard, frame.message), shard=shard
-            )
-        return reply_frame(self.server.handle(frame.message))
-
-    def register_locks(self, registry) -> None:
-        """Enroll every lock this service can acquire in a lock-order
-        :class:`~repro.analysis.concurrency.LockRegistry` (the single
-        server lock, or — via
-        :meth:`~repro.ps.sharded.ShardedParameterServer.register_lock` —
-        one entry per shard)."""
-        self.server.register_lock(registry)
 
 
 class InProcChannel:
@@ -136,6 +102,15 @@ class InProcChannel:
             return
         if isinstance(frame, TelemetryFrame):
             self.telemetry_frame = frame
+            return
+        if isinstance(frame, ControlFrame):
+            # Membership handshake, synchronous like everything in-process:
+            # a join's ModelFrame reply becomes the pending recv.
+            reply = self.service.control(frame)
+            if reply is not None:
+                if self.wire_fidelity:
+                    reply = decode_frame(encode_frame(reply))
+                self._pending = reply
             return
         if not isinstance(frame, GradientFrame):
             raise TypeError(f"worker endpoints send gradient/close frames, not {type(frame).__name__}")

@@ -23,6 +23,7 @@ the process backend used to hand-roll::
     kind 3   : worker i32 | samples i64 | state_bytes i64 |
                err_len u16 | err utf-8                     (close)
     kind 4   : worker i32 | body_len u32 | utf-8 JSON      (telemetry)
+    kind 5   : worker i32 | op u8                          (control)
 
 (`-1` in the close accounting fields means "not reported"; a zero-length
 error means "no error", so an empty error string normalises to ``None``.)
@@ -32,7 +33,15 @@ whole server (the default — a sharded front-end fans the payload out
 itself), ``>= 0`` addresses one shard, and :func:`peek_shard` reads it
 from the fixed-size header so transports can route a frame to the right
 shard queue *without decoding the payload*.  Control frames (close /
-telemetry) always carry ``-1``.
+telemetry / membership) always carry ``-1``.
+
+:class:`ControlFrame` (kind 5) is the elastic-membership handshake: a
+worker *joins* before its first gradient (the server bootstraps its
+``v_k`` from ``M_t`` and replies with a :class:`ModelFrame` carrying the
+current global model) and may *leave* explicitly before its close frame.
+The ops are the entire membership wire vocabulary — everything else
+(eviction, crash handling) is a server-side decision about an existing
+channel, not a frame.
 
 :class:`TelemetryFrame` (kind 4) is the observability side channel: a
 worker process ships its tracer spans and metric snapshots back to the
@@ -67,6 +76,9 @@ __all__ = [
     "ModelFrame",
     "CloseFrame",
     "TelemetryFrame",
+    "ControlFrame",
+    "CONTROL_JOIN",
+    "CONTROL_LEAVE",
     "reply_frame",
     "encode_frame",
     "decode_frame",
@@ -86,8 +98,15 @@ _KIND_DIFF = 1
 _KIND_MODEL = 2
 _KIND_CLOSE = 3
 _KIND_TELEMETRY = 4
+_KIND_CONTROL = 5
 
 _TELEMETRY = struct.Struct("<iI")  # worker_id, body length
+_CONTROL = struct.Struct("<iB")  # worker_id, op
+
+#: membership ops a ControlFrame can carry
+CONTROL_JOIN = "join"
+CONTROL_LEAVE = "leave"
+_CONTROL_OPS = (CONTROL_JOIN, CONTROL_LEAVE)  # wire op byte = tuple index
 
 
 @dataclass(frozen=True)
@@ -194,7 +213,27 @@ class TelemetryFrame:
         return 0
 
 
-Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame | TelemetryFrame"
+@dataclass(frozen=True)
+class ControlFrame:
+    """Membership handshake: ``join`` (expects a ModelFrame reply carrying
+    the bootstrapped global model) or ``leave`` (one-way, before close)."""
+
+    worker_id: int
+    op: str = CONTROL_JOIN
+
+    def __post_init__(self) -> None:
+        if self.op not in _CONTROL_OPS:
+            raise ValueError(f"unknown control op {self.op!r}; known: {_CONTROL_OPS}")
+
+    def nbytes(self) -> int:
+        """Membership is control plane, not payload — analytic bytes are 0."""
+        return 0
+
+    def dense_nbytes(self) -> int:
+        return 0
+
+
+Frame = "GradientFrame | DiffFrame | ModelFrame | CloseFrame | TelemetryFrame | ControlFrame"
 
 
 def reply_frame(
@@ -248,6 +287,10 @@ def encode_frame(frame: Frame) -> bytes:
             _HEADER.pack(FRAME_MAGIC, _KIND_TELEMETRY, -1)
             + _TELEMETRY.pack(frame.worker_id, len(body))
             + body
+        )
+    if isinstance(frame, ControlFrame):
+        return _HEADER.pack(FRAME_MAGIC, _KIND_CONTROL, -1) + _CONTROL.pack(
+            frame.worker_id, _CONTROL_OPS.index(frame.op)
         )
     if isinstance(frame, CloseFrame):
         err = frame.error.encode("utf-8") if frame.error is not None else b""
@@ -308,4 +351,9 @@ def decode_frame(raw: "bytes | memoryview") -> Frame:
             spans=tuple(body.get("spans", [])),
             metrics=tuple(body.get("metrics", [])),
         )
+    if kind == _KIND_CONTROL:
+        worker, op = _CONTROL.unpack_from(buf, off)
+        if op >= len(_CONTROL_OPS):
+            raise ValueError(f"unknown control op byte {op}")
+        return ControlFrame(worker_id=worker, op=_CONTROL_OPS[op])
     raise ValueError(f"unknown frame kind {kind}")

@@ -7,32 +7,25 @@ both ends: the child process drives it through the worker protocol loop,
 the parent through :func:`serve_pipe_channels`.
 
 :func:`serve_pipe_channels` is the parameter-server side of the process
-backend: multiplex gradient frames from all worker pipes, dispatch them to
-the shared :class:`~repro.comm.channel.ServerService`, and account bytes —
-until every channel has delivered its :class:`~repro.comm.frames.CloseFrame`
-or died.  A pipe that hits EOF/EPIPE *without* a close frame is a crashed
-worker: the loop records the loss of that worker and carries on, so a
-worker dying mid-run yields a graceful partial result instead of a hang.
+backend.  The actual multiplexing loop is the transport-agnostic
+:func:`repro.comm.service.serve_channels` (pipes, in-proc channels, and
+sockets share it); this module keeps the pipe-flavoured entry point and
+the :class:`PipeChannel` transport.  A pipe that hits EOF/EPIPE *without*
+a close frame is a crashed worker: the loop records the loss of that
+worker and carries on, so a worker dying mid-run yields a graceful
+partial result instead of a hang.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from multiprocessing.connection import wait
 from typing import Callable
 
 from ..compression.stats import CompressionStats
 from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
-from .channel import ChannelClosed, ServerService
-from .frames import (
-    CloseFrame,
-    Frame,
-    GradientFrame,
-    TelemetryFrame,
-    decode_frame,
-    encode_frame,
-)
+from .channel import ChannelClosed
+from .frames import Frame, decode_frame, encode_frame
+from .service import ServeReport, ServerService, serve_channels
 
 __all__ = ["PipeChannel", "ServeReport", "serve_pipe_channels"]
 
@@ -65,7 +58,9 @@ class PipeChannel:
             self.connection.send_bytes(raw)
         self.wire_bytes_sent += len(raw)
 
-    def recv(self) -> Frame:
+    def recv_raw(self) -> bytes:
+        """One encoded frame off the pipe (the serve loop peeks the shard
+        id off these bytes before decoding)."""
         if self._closed:
             raise ChannelClosed("pipe channel is closed")
         tracer = self._tracer()
@@ -76,27 +71,20 @@ class PipeChannel:
         else:
             raw = self.connection.recv_bytes()
         self.wire_bytes_received += len(raw)
-        return decode_frame(raw)
+        return raw
+
+    def recv(self) -> Frame:
+        return decode_frame(self.recv_raw())
+
+    @property
+    def waitable(self):
+        """What ``multiprocessing.connection.wait`` blocks on."""
+        return self.connection
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self.connection.close()
-
-
-@dataclass
-class ServeReport:
-    """What the serving loop observed across all worker channels."""
-
-    #: summed final accounting from clean close frames
-    samples_processed: int = 0
-    worker_state_bytes: int = 0
-    #: human-readable crash/error descriptions, one per failed worker
-    errors: "list[str]" = field(default_factory=list)
-    clean_closes: int = 0
-    crashes: int = 0
-    #: worker_id → TelemetryFrame shipped before that worker's close
-    telemetry: "dict[int, TelemetryFrame]" = field(default_factory=dict)
 
 
 def serve_pipe_channels(
@@ -107,55 +95,10 @@ def serve_pipe_channels(
 ) -> ServeReport:
     """Run the server side of the process backend until all workers close.
 
-    ``stats`` receives the analytic payload byte accounting (upload on
-    every gradient frame, download on every reply); ``on_loss`` is called
-    with each gradient frame's training loss after the reply is shipped.
+    A pipe-flavoured entry point over the transport-agnostic
+    :func:`~repro.comm.service.serve_channels` loop.  ``stats`` receives
+    the analytic payload byte accounting (upload on every gradient frame,
+    download on every reply); ``on_loss`` is called with each gradient
+    frame's training loss after the reply is shipped.
     """
-    report = ServeReport()
-    open_channels = {ch.connection: ch for ch in channels}
-    while open_channels:
-        for conn in wait(list(open_channels)):
-            channel = open_channels[conn]
-            try:
-                frame = channel.recv()
-            except (EOFError, OSError):
-                report.crashes += 1
-                report.errors.append("worker pipe closed without a close frame (crash)")
-                open_channels.pop(conn, None)
-                continue
-            if isinstance(frame, CloseFrame):
-                if frame.samples_processed is not None:
-                    report.samples_processed += frame.samples_processed
-                if frame.worker_state_bytes is not None:
-                    report.worker_state_bytes += frame.worker_state_bytes
-                if frame.error is not None:
-                    report.crashes += 1
-                    report.errors.append(f"worker {frame.worker_id}: {frame.error}")
-                else:
-                    report.clean_closes += 1
-                open_channels.pop(conn, None)
-                continue
-            if isinstance(frame, TelemetryFrame):
-                report.telemetry[frame.worker_id] = frame
-                continue  # diagnostic side channel: no reply, channel stays open
-            if not isinstance(frame, GradientFrame):
-                report.errors.append(f"unexpected {type(frame).__name__} from worker pipe")
-                open_channels.pop(conn, None)
-                continue
-            if stats is not None:
-                stats.record_upload(frame.nbytes(), frame.dense_nbytes())
-            reply = service(frame)
-            if stats is not None:
-                stats.record_download(reply.nbytes(), reply.dense_nbytes())
-            try:
-                channel.send(reply)
-            except (BrokenPipeError, OSError):
-                report.crashes += 1
-                report.errors.append(
-                    f"worker {frame.worker_id}: pipe broke while sending the reply (crash)"
-                )
-                open_channels.pop(conn, None)
-                continue
-            if on_loss is not None:
-                on_loss(frame.loss)
-    return report
+    return serve_channels(channels, service, stats=stats, on_loss=on_loss)

@@ -19,7 +19,14 @@ from typing import TYPE_CHECKING, Callable
 from ..obs import names as obs_names
 from ..obs.tracer import current_tracer
 from .channel import ChannelClosed
-from .frames import CloseFrame, GradientFrame, TelemetryFrame
+from .frames import (
+    CONTROL_JOIN,
+    CONTROL_LEAVE,
+    CloseFrame,
+    ControlFrame,
+    GradientFrame,
+    TelemetryFrame,
+)
 
 if TYPE_CHECKING:
     from ..obs.metrics import MetricsRegistry
@@ -38,6 +45,7 @@ def run_worker_loop(
     on_iteration: "Callable[[int], None] | None" = None,
     ship_telemetry: bool = False,
     metrics: "MetricsRegistry | None" = None,
+    register: bool = False,
 ) -> None:
     """Drive ``node`` through ``iterations`` exchanges over ``channel``.
 
@@ -52,10 +60,23 @@ def run_worker_loop(
     ``metrics.snapshot()``) just before the close frame — the process
     backend sets it so worker spans reach the parent's merged trace.
     In-process backends share the parent tracer and leave it off.
+
+    ``register`` runs the elastic-membership handshake around the loop:
+    a join :class:`~repro.comm.frames.ControlFrame` before the first
+    iteration — whose :class:`~repro.comm.frames.ModelFrame` reply
+    installs θ_t on the replica, so a late joiner starts from the live
+    model, not θ_0 — and a leave frame on the success path before the
+    close frame (a crashed worker sends neither; the server's EOF
+    handling deregisters it).
     """
     tracer = tracer if tracer is not None else current_tracer()
     error: "str | None" = None
     try:
+        if register:
+            channel.send(ControlFrame(node.worker_id, CONTROL_JOIN))
+            reply = channel.recv()
+            with tracer.span(obs_names.WORKER_APPLY, cat="worker", worker=node.worker_id):
+                node.apply_reply(reply.message)
         for i in range(iterations):
             if on_iteration is not None:
                 on_iteration(i)
@@ -75,6 +96,8 @@ def run_worker_loop(
         raise
     finally:
         try:
+            if register and error is None:
+                channel.send(ControlFrame(node.worker_id, CONTROL_LEAVE))
             if ship_telemetry and getattr(tracer, "enabled", False):
                 channel.send(
                     TelemetryFrame(

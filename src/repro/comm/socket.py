@@ -1,0 +1,243 @@
+"""TCP socket channels: the repo's frames over a real network transport.
+
+:class:`SocketChannel` carries the exact byte format of
+:mod:`repro.comm.frames` over a stream socket, length-prefixed::
+
+    record := length u32 (little-endian) | frame bytes
+
+The frame codec is untouched — a socket ships the same bytes a pipe does,
+so the float32 wire conversion, shard-routing header, and analytic byte
+accounting mean the same thing on both transports.  Wire counters track
+frame bytes (the length prefix is transport framing, not payload — the
+same convention as ``PipeChannel``, whose pipe header is also uncounted).
+
+Failure semantics match the pipe transport so the serve loop treats both
+identically:
+
+* clean EOF mid-stream raises ``EOFError`` — a peer that vanished without
+  a close frame is a crash, reported as a partial result;
+* :class:`ChannelTimeout` (an ``OSError``) fires when ``read_timeout_s``
+  elapses inside a read — the guard against a half-sent frame wedging the
+  server after ``wait()`` reported readability.  On the server side the
+  timeout is set from the straggler budget, so a stalled peer resolves to
+  the same eviction path as a silent one.
+
+:meth:`SocketChannel.connect` retries with capped exponential backoff —
+workers and server race to start in a real deployment (and in the
+loopback CI smoke), and the first connect routinely lands before the
+listener is up.
+
+:class:`SocketListener` binds ``127.0.0.1:0`` by default: an ephemeral
+loopback port, which is what CI uses; real deployments pass an explicit
+``host:port``.
+"""
+
+from __future__ import annotations
+
+import socket as _socket
+import struct
+import time
+
+from ..obs import names as obs_names
+from ..obs.tracer import current_tracer
+from .channel import ChannelClosed
+from .frames import Frame, decode_frame, encode_frame
+
+__all__ = [
+    "ChannelTimeout",
+    "SocketChannel",
+    "SocketListener",
+    "DEFAULT_BACKOFF_BASE_S",
+    "DEFAULT_BACKOFF_CAP_S",
+]
+
+_LENGTH = struct.Struct("<I")
+
+#: first connect-retry delay; doubles per attempt up to the cap
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 1.0
+
+
+class ChannelTimeout(OSError):
+    """A read exceeded the channel's ``read_timeout_s``.
+
+    Subclasses ``OSError`` deliberately: the serve loop's crash handling
+    catches it, so a wedged peer resolves to the same partial-result /
+    eviction semantics as a dead one.
+    """
+
+
+class SocketChannel:
+    """One endpoint of a TCP connection speaking the comm frame format."""
+
+    def __init__(
+        self,
+        sock: "_socket.socket",
+        tracer: "object | None" = None,
+        read_timeout_s: "float | None" = None,
+    ) -> None:
+        self._sock = sock
+        self.tracer = tracer
+        #: per-read deadline; ``None`` blocks forever (worker side default)
+        self.read_timeout_s = read_timeout_s
+        #: actual frame bytes through the socket (length prefixes excluded)
+        self.wire_bytes_sent = 0
+        self.wire_bytes_received = 0
+        self._closed = False
+        try:
+            sock.setsockopt(_socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (e.g. AF_UNIX in tests); Nagle is moot
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        tracer: "object | None" = None,
+        read_timeout_s: "float | None" = None,
+        retry_for_s: float = 10.0,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+    ) -> "SocketChannel":
+        """Connect to a listening server, retrying with capped exponential
+        backoff for up to ``retry_for_s`` seconds.
+
+        Workers routinely start before the server's listener is bound (two
+        terminals, one ``fork`` race); refused/unreachable connects retry
+        at ``backoff_base_s``, doubling per attempt up to ``backoff_cap_s``.
+        Raises ``ConnectionError`` when the budget is exhausted.
+        """
+        deadline = time.monotonic() + retry_for_s
+        delay = backoff_base_s
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                sock = _socket.create_connection((host, port), timeout=retry_for_s)
+                return cls(sock, tracer=tracer, read_timeout_s=read_timeout_s)
+            except OSError as exc:
+                if time.monotonic() + delay > deadline:
+                    raise ConnectionError(
+                        f"could not connect to {host}:{port} after {attempt} "
+                        f"attempt(s) over {retry_for_s:g}s: {exc}"
+                    ) from exc
+                time.sleep(delay)
+                delay = min(delay * 2.0, backoff_cap_s)
+
+    # ------------------------------------------------------------------
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else current_tracer()
+
+    def _recv_exactly(self, n: int) -> bytes:
+        """``n`` bytes off the stream, honouring ``read_timeout_s``.
+
+        EOF before ``n`` bytes raises ``EOFError`` (crash semantics — the
+        peer vanished without a close frame); a deadline elapsing raises
+        :class:`ChannelTimeout`.
+        """
+        self._sock.settimeout(self.read_timeout_s)
+        chunks: "list[bytes]" = []
+        remaining = n
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except _socket.timeout as exc:
+                raise ChannelTimeout(
+                    f"no bytes for {self.read_timeout_s:g}s mid-frame"
+                ) from exc
+            if not chunk:
+                raise EOFError("socket closed mid-stream (no close frame)")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def send(self, frame: Frame) -> None:
+        if self._closed:
+            raise ChannelClosed("socket channel is closed")
+        raw = encode_frame(frame)
+        tracer = self._tracer()
+        if tracer.enabled:
+            with tracer.span(obs_names.COMM_SEND, cat="comm", bytes=len(raw)):
+                self._sock.sendall(_LENGTH.pack(len(raw)) + raw)
+        else:
+            self._sock.sendall(_LENGTH.pack(len(raw)) + raw)
+        self.wire_bytes_sent += len(raw)
+
+    def recv_raw(self) -> bytes:
+        """One encoded frame off the stream (the serve loop peeks the shard
+        id off these bytes before decoding)."""
+        if self._closed:
+            raise ChannelClosed("socket channel is closed")
+        tracer = self._tracer()
+        if tracer.enabled:
+            with tracer.span(obs_names.COMM_RECV, cat="comm") as span:
+                (length,) = _LENGTH.unpack(self._recv_exactly(_LENGTH.size))
+                raw = self._recv_exactly(length)
+                span.set(bytes=len(raw))
+        else:
+            (length,) = _LENGTH.unpack(self._recv_exactly(_LENGTH.size))
+            raw = self._recv_exactly(length)
+        self.wire_bytes_received += len(raw)
+        return raw
+
+    def recv(self) -> Frame:
+        return decode_frame(self.recv_raw())
+
+    @property
+    def waitable(self):
+        """What ``multiprocessing.connection.wait`` blocks on (it accepts
+        socket objects alongside pipe connections)."""
+        return self._sock
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass  # peer already gone
+            self._sock.close()
+
+
+class SocketListener:
+    """Accepts :class:`SocketChannel` s; loopback-ephemeral by default."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        backlog: int = 64,
+        tracer: "object | None" = None,
+        read_timeout_s: "float | None" = None,
+    ) -> None:
+        self._sock = _socket.socket(_socket.AF_INET, _socket.SOCK_STREAM)
+        self._sock.setsockopt(_socket.SOL_SOCKET, _socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.tracer = tracer
+        #: stamped onto every accepted channel (server-side read deadline)
+        self.read_timeout_s = read_timeout_s
+        self._closed = False
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound (host, port) — port 0 resolves to the ephemeral pick."""
+        return self._sock.getsockname()[:2]
+
+    @property
+    def waitable(self):
+        """The listening socket: readable ⇔ a connection is pending."""
+        return self._sock
+
+    def accept(self) -> SocketChannel:
+        sock, _addr = self._sock.accept()
+        return SocketChannel(
+            sock, tracer=self.tracer, read_timeout_s=self.read_timeout_s
+        )
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()

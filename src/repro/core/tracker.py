@@ -58,6 +58,9 @@ class ModelDifferenceTracker:
         self.secondary = secondary
         self.track_differences = track_differences
         self.arena = bool(arena)
+        #: construction-time dtype request, reused when a late joiner's
+        #: v_k buffer is grown (the new buffer must match the old ones)
+        self.buffer_dtype = dtype
         self.workspace: "KernelWorkspace | None" = KernelWorkspace() if self.arena else None
         self.M = make_layer_buffers(self.shapes, self.arena, dtype)
         # v_k buffers exist only under difference tracking — vanilla ASGD
@@ -146,6 +149,55 @@ class ModelDifferenceTracker:
         return self.t - self.prev[worker]
 
     # ------------------------------------------------------------------
+    def bootstrap_worker(self, worker: int) -> None:
+        """Admit ``worker`` (growing state if it is new): ``v_k ← M_t``,
+        ``prev(k) ← t``.
+
+        The elastic-membership state transition (a late joiner downloads
+        θ_t, so everything ever applied has by definition been shipped to
+        it — ``v_k == M_t`` is exactly the Eq. 5 invariant at join time).
+        Idempotent for existing workers: re-bootstrapping just refreshes
+        their ``v_k`` to the current ``M``, which is what a reconnect
+        after a full-model download means.
+        """
+        if worker < 0:
+            raise ValueError(f"worker id must be >= 0, got {worker}")
+        if worker >= self.num_workers:
+            if self.track_differences:
+                self.v.extend(
+                    make_layer_buffers(self.shapes, self.arena, self.buffer_dtype)
+                    for _ in range(worker + 1 - self.num_workers)
+                )
+            self.prev.extend([0] * (worker + 1 - self.num_workers))
+            self.num_workers = worker + 1
+        if self.track_differences:
+            vk = self.v[worker]
+            if self.arena:
+                vk.copy_(self.M)
+            else:
+                for name, m_layer in self.M.items():
+                    np.copyto(vk[name], m_layer)
+        self.prev[worker] = self.t
+
+    def worker_model(self, theta0: Mapping[str, np.ndarray], worker: int) -> "Mapping[str, np.ndarray]":
+        """Materialise the model worker ``k`` holds: θ_0 + v_k (Eq. 3 view).
+
+        Without difference tracking (vanilla ASGD) the worker holds the
+        full global model from its last download, which — under the strict
+        request→reply cycle — is θ_t.
+        """
+        if not self.track_differences:
+            return self.global_model(theta0)
+        vk = self.v[worker]
+        if (
+            self.arena
+            and isinstance(theta0, LayerArena)
+            and theta0.same_layout(vk)
+        ):
+            return theta0.clone().add_(vk)
+        return OrderedDict((name, theta0[name] + vk[name]) for name in self.M)
+
+    # ------------------------------------------------------------------
     def global_model(self, theta0: Mapping[str, np.ndarray]) -> "Mapping[str, np.ndarray]":
         """Materialise θ_t = θ_0 + M_t (Eq. 2) — used for evaluation."""
         if (
@@ -181,9 +233,66 @@ class ModelDifferenceTracker:
             for name, arr in vk.items():
                 np.copyto(arr, state[f"v{k}/{name}"])
 
+    # ------------------------------------------------------------------
+    def flat_state(self) -> "list[np.ndarray]":
+        """``[M, v_0, …, v_{K-1}]``, each as one contiguous 1-D array.
+
+        The checkpoint payload: in arena mode these are zero-copy views of
+        the flat backing buffers (the caller copies if it needs isolation);
+        the dict reference path concatenates per layer.  Layer order is
+        ``self.shapes`` order, which both representations share.
+        """
+        return [_flatten_buffers(self.M)] + [_flatten_buffers(vk) for vk in self.v]
+
+    def load_flat_state(self, buffers: "list[np.ndarray]") -> None:
+        """Restore :meth:`flat_state` output (``M`` first, then each v_k).
+
+        Grows the worker set if the checkpoint carries more v_k buffers
+        than this tracker currently has (a checkpoint taken after elastic
+        joins restores into a tracker built at the original size).
+        """
+        if not buffers:
+            raise ValueError("flat state needs at least the M buffer")
+        n_v = len(buffers) - 1
+        if self.track_differences and n_v > len(self.v):
+            self.bootstrap_worker(n_v - 1)  # grow v/prev to checkpoint size
+        elif not self.track_differences and n_v != 0:
+            raise ValueError("checkpoint has v_k buffers but tracking is off")
+        elif self.track_differences and n_v < len(self.v):
+            raise ValueError(
+                f"checkpoint has {n_v} v_k buffers, tracker has {len(self.v)} workers"
+            )
+        _load_flat(self.M, buffers[0])
+        for vk, buf in zip(self.v, buffers[1:]):
+            _load_flat(vk, buf)
+
     def server_state_bytes(self) -> int:
         """Memory held by M plus every v_k (the §5.6.2 accounting:
         ``NumOfWorkers × ParameterMemOfModel`` for the v's, + one M)."""
         m_bytes = sum(arr.nbytes for arr in self.M.values())
         v_bytes = sum(sum(arr.nbytes for arr in vk.values()) for vk in self.v)
         return m_bytes + v_bytes
+
+
+def _flatten_buffers(buffers: "LayerArena | Mapping[str, np.ndarray]") -> np.ndarray:
+    """One contiguous 1-D view/copy of a layer buffer set (shapes order)."""
+    if isinstance(buffers, LayerArena):
+        return buffers.flat  # already one contiguous buffer: zero copy
+    return np.concatenate([arr.reshape(-1) for arr in buffers.values()])
+
+
+def _load_flat(buffers: "LayerArena | Mapping[str, np.ndarray]", flat: np.ndarray) -> None:
+    """Scatter one contiguous 1-D array back into a layer buffer set."""
+    if isinstance(buffers, LayerArena):
+        if flat.size != buffers.flat.size:
+            raise ValueError(
+                f"flat buffer has {flat.size} elements, arena holds {buffers.flat.size}"
+            )
+        np.copyto(buffers.flat, flat)
+        return
+    offset = 0
+    for arr in buffers.values():
+        np.copyto(arr, flat[offset : offset + arr.size].reshape(arr.shape))
+        offset += arr.size
+    if offset != flat.size:
+        raise ValueError(f"flat buffer has {flat.size} elements, layers hold {offset}")

@@ -1,8 +1,8 @@
 """Backend protocol, registry, and the ambient default backend.
 
 A backend turns one :class:`~repro.exec.config.RunConfig` into a
-:class:`~repro.exec.result.TrainResult`.  The four built-ins ("threaded",
-"process", "simulated", "sync") register themselves on import of
+:class:`~repro.exec.result.TrainResult`.  The five built-ins ("threaded",
+"process", "socket", "simulated", "sync") register themselves on import of
 :mod:`repro.exec`; extensions register their own with
 :func:`register_backend` and immediately work everywhere a backend name is
 accepted — ``Trainer``, ``run_distributed(backend=...)``, ``python -m
@@ -24,6 +24,8 @@ __all__ = [
     "list_backends",
     "default_backend",
     "use_backend",
+    "use_config_overrides",
+    "apply_config_overrides",
     "collect_results",
     "notify_result",
 ]
@@ -119,6 +121,50 @@ def collect_results() -> "Iterator[list[tuple[RunConfig, TrainResult]]]":
         yield sink
     finally:
         _COLLECTORS.remove(sink)
+
+
+#: ambient RunConfig field overrides, innermost scope last
+_CONFIG_OVERRIDES: "list[dict[str, object]]" = []
+
+
+@contextlib.contextmanager
+def use_config_overrides(**fields: object) -> "Iterator[dict[str, object]]":
+    """Temporarily override :class:`RunConfig` fields for every run.
+
+    The seam behind ``python -m repro run --checkpoint-every/--restore``:
+    experiments build their own configs internally, and the CLI layers
+    run-level settings (checkpointing, restore) over all of them without
+    threading new parameters through every runner signature.  Overrides
+    are applied by :func:`apply_config_overrides` (the built-in backends
+    call it from their shared ``run()``); unknown field names fail fast.
+    """
+    import dataclasses
+
+    known = {f.name for f in dataclasses.fields(RunConfig)}
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"unknown RunConfig fields: {sorted(unknown)}")
+    scope = dict(fields)
+    _CONFIG_OVERRIDES.append(scope)
+    try:
+        yield scope
+    finally:
+        _CONFIG_OVERRIDES.remove(scope)
+
+
+def apply_config_overrides(config: RunConfig) -> RunConfig:
+    """``config`` with every active override scope applied (innermost wins).
+
+    Returns the input object unchanged when no scope is active.
+    """
+    if not _CONFIG_OVERRIDES:
+        return config
+    import dataclasses
+
+    merged: "dict[str, object]" = {}
+    for scope in _CONFIG_OVERRIDES:
+        merged.update(scope)
+    return dataclasses.replace(config, **merged)
 
 
 @contextlib.contextmanager

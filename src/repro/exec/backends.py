@@ -1,22 +1,23 @@
-"""The four built-in execution backends.
+"""The five built-in execution backends.
 
 Each adapter maps the backend-independent :class:`RunConfig` onto one
 engine's native constructor and declares which optional ``TrainResult``
 fields it guarantees to populate.  The engines themselves live where they
 always did (``repro.ps.threaded``, ``repro.ps.process``,
-``repro.sim.engine``, ``repro.sim.sync``); the adapters are the only place
-that knows their constructor signatures.
+``repro.ps.socket``, ``repro.sim.engine``, ``repro.sim.sync``); the
+adapters are the only place that knows their constructor signatures.
 """
 
 from __future__ import annotations
 
-from .backend import notify_result, register_backend
+from .backend import apply_config_overrides, notify_result, register_backend
 from .config import RunConfig
 from .result import TrainResult
 
 __all__ = [
     "ThreadedBackend",
     "ProcessBackend",
+    "SocketBackend",
     "SimulatedBackend",
     "SyncBackend",
 ]
@@ -47,6 +48,7 @@ class _BackendBase:
         raise NotImplementedError
 
     def run(self, config: RunConfig) -> TrainResult:
+        config = apply_config_overrides(config)  # CLI-level field overlays
         result = self.create(config).run()
         notify_result(config, result)
         return result
@@ -79,6 +81,10 @@ class ThreadedBackend(_BackendBase):
             wire_fidelity=config.wire_fidelity,
             arena=config.arena,
             arena_dtype=config.arena_dtype,
+            register=config.register,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_path=config.checkpoint_path,
+            restore_from=config.restore_from,
         )
 
 
@@ -106,6 +112,49 @@ class ProcessBackend(_BackendBase):
             num_shards=config.num_shards,
             seed=config.seed,
             fail_at=config.fail_at,
+            tracer=config.tracer,
+            arena=config.arena,
+            arena_dtype=config.arena_dtype,
+        )
+
+
+class SocketBackend(_BackendBase):
+    """Real TCP connections with elastic workers and checkpoint/restore.
+
+    The deployment-shaped backend: the server binds a listener (loopback-
+    ephemeral unless ``config.bind`` says otherwise), forked workers
+    *connect* and register through the membership handshake, stragglers
+    can be evicted (``evict_after_s``), and the server state checkpoints
+    to one contiguous file (``checkpoint_every``/``restore_from``).
+    """
+
+    name = "socket"
+    clock = "wall"
+    measures = _PS_MEASURES | {"wire_bytes_up", "wire_bytes_down"}
+
+    def create(self, config: RunConfig):
+        from ..ps.socket import SocketTrainer
+
+        return SocketTrainer(
+            config.method,
+            config.model_factory,
+            config.dataset,
+            num_workers=config.num_workers,
+            batch_size=config.batch_size,
+            iterations_per_worker=config.iterations_per_worker(),
+            hyper=config.hyper,
+            schedule=config.schedule,
+            secondary_compression=config.secondary_compression,
+            staleness_damping=config.staleness_damping,
+            num_shards=config.num_shards,
+            seed=config.seed,
+            fail_at=config.fail_at,
+            join_delay_s=config.join_delay_s,
+            evict_after_s=config.evict_after_s,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_path=config.checkpoint_path,
+            restore_from=config.restore_from,
+            bind=config.bind,
             tracer=config.tracer,
             arena=config.arena,
             arena_dtype=config.arena_dtype,
@@ -203,5 +252,6 @@ def _checked_cluster(config: RunConfig):
 
 register_backend(ThreadedBackend())
 register_backend(ProcessBackend())
+register_backend(SocketBackend())
 register_backend(SimulatedBackend())
 register_backend(SyncBackend())

@@ -80,6 +80,26 @@ class RunConfig:
     logger: "object | None" = None
     #: repro.obs tracer; None ⇒ the ambient tracer at run time
     tracer: "object | None" = None
+    #: run the elastic-membership join/leave handshake around each worker
+    #: loop (threaded backend; the socket backend always registers)
+    register: bool = False
+    #: write a server checkpoint (repro.ps.checkpoint format) every N
+    #: applied updates; requires ``checkpoint_path``.  Threaded and socket
+    #: backends only.
+    checkpoint_every: "int | None" = None
+    checkpoint_path: "str | None" = None
+    #: restore server state from this checkpoint before training and
+    #: fast-forward each worker's data stream by its recorded update count
+    restore_from: "str | None" = None
+    #: socket backend: evict a worker silent for this many seconds
+    #: (straggler timeout + per-channel read deadline)
+    evict_after_s: "float | None" = None
+    #: socket backend: worker id → seconds to delay its connect (mid-run
+    #: elastic joins)
+    join_delay_s: "dict[int, float] | None" = None
+    #: socket backend: (host, port) for the server listener; None ⇒
+    #: loopback with an ephemeral port (the CI default)
+    bind: "tuple[str, int] | None" = None
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -90,6 +110,8 @@ class RunConfig:
             raise ValueError("total_iterations must be >= 1")
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
 
     # ------------------------------------------------------------------
     def iterations_per_worker(self) -> int:
@@ -137,6 +159,13 @@ class RunConfig:
             "eval_every": self.eval_every,
             "record_trace": self.record_trace,
             "fail_at": dict(self.fail_at) if self.fail_at else None,
+            "register": self.register,
+            "checkpoint_every": self.checkpoint_every,
+            "checkpoint_path": self.checkpoint_path,
+            "restore_from": self.restore_from,
+            "evict_after_s": self.evict_after_s,
+            "join_delay_s": dict(self.join_delay_s) if self.join_delay_s else None,
+            "bind": list(self.bind) if self.bind is not None else None,
             "hyper": repr(self.hyper) if self.hyper is not None else None,
             "schedule": type(self.schedule).__name__ if self.schedule is not None else None,
             "cluster": repr(self.cluster) if self.cluster is not None else None,

@@ -179,7 +179,9 @@ def _cmd_run_smoke(args: argparse.Namespace) -> int:
     With the default ``--backend process`` this exercises the whole
     telemetry pipeline: worker processes ship spans back as
     TelemetryFrames, the parent merges them, the manifest is written and
-    checked.  ``--shards N`` routes the same run through the sharded
+    checked.  ``--backend socket`` runs the same gate over real TCP
+    loopback connections, adding the elastic join/leave handshake to the
+    smoke.  ``--shards N`` routes the same run through the sharded
     parameter server, and the smoke then additionally demands one
     ``shard-<i>`` trace lane per shard.  ``--run-id`` is fixed so a
     Makefile can chain ``obs check`` on the resulting directory
@@ -231,9 +233,9 @@ def _cmd_run_smoke(args: argparse.Namespace) -> int:
         f"shard lanes={sorted(shard_lanes)}",
         file=sys.stderr,
     )
-    if args.backend == "process" and len(procs) < args.workers:
+    if args.backend in ("process", "socket") and len(procs) < args.workers:
         # threaded workers share the main process, so proc lanes only
-        # gate the backend that actually crosses a process boundary
+        # gate the backends that actually cross a process boundary
         print(
             f"run-smoke failed: expected {args.workers} worker span lanes, got {sorted(procs)}",
             file=sys.stderr,
@@ -310,7 +312,7 @@ def main(argv: "list[str] | None" = None) -> int:
     p_run_smoke.add_argument(
         "--backend",
         default="process",
-        choices=("process", "threaded"),
+        choices=("process", "threaded", "socket"),
         help="execution backend to smoke (default: process)",
     )
     p_run_smoke.set_defaults(fn=_cmd_run_smoke)

@@ -1,10 +1,19 @@
-"""Parameter-server substrate: messages, server, workers, threaded trainer."""
+"""Parameter-server substrate: messages, server, workers, trainers.
 
+Three transport-backed trainers share the server/worker core: threaded
+(in-process channels), process (OS pipes), and socket (real TCP with
+elastic membership and checkpoint/restore — see :mod:`repro.ps.socket`,
+:mod:`repro.ps.membership`, :mod:`repro.ps.checkpoint`).
+"""
+
+from .checkpoint import load_checkpoint, save_checkpoint
 from .codec import decode_message, encode_message
+from .membership import WorkerDirectory
 from .messages import DiffMessage, GradientMessage, ModelMessage, payload_dense_nbytes, payload_nbytes
 from .process import ProcessResult, ProcessTrainer
 from .server import ParameterServer
 from .sharded import ParameterShard, ShardedParameterServer
+from .socket import SocketTrainer
 from .threaded import ThreadedResult, ThreadedTrainer
 from .worker import WorkerNode
 
@@ -21,7 +30,11 @@ __all__ = [
     "ParameterServer",
     "ParameterShard",
     "ShardedParameterServer",
+    "SocketTrainer",
+    "WorkerDirectory",
     "WorkerNode",
     "ThreadedTrainer",
     "ThreadedResult",
+    "save_checkpoint",
+    "load_checkpoint",
 ]

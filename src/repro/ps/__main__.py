@@ -1,0 +1,268 @@
+"""Two-terminal deployment demo: one server process, N worker processes.
+
+Both sides build the *same* standard workload (synthetic blobs + MLP)
+from identical flags, so the only thing crossing between terminals is the
+wire protocol — start the server in one terminal, then each worker in its
+own::
+
+    # terminal 1
+    python -m repro.ps serve --bind 127.0.0.1:5555 --workers 2
+
+    # terminals 2..N+1
+    python -m repro.ps worker --connect 127.0.0.1:5555 --id 0
+    python -m repro.ps worker --connect 127.0.0.1:5555 --id 1
+
+Workers may start before the server: ``SocketChannel.connect`` retries
+with capped exponential backoff for ``--retry-for`` seconds.  Flags that
+shape the workload (``--method``, ``--iterations``, ``--batch-size``,
+``--seed``) must match on every side; the demo has no config exchange.
+The programmatic equivalent — forked workers, one process tree — is
+``repro.exec.train(config, backend="socket")``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _workload(args: argparse.Namespace):
+    """The standard demo workload, derived only from the shared flags."""
+    from ..core.methods import Hyper
+    from ..data.synthetic import make_blobs
+    from ..exec.common import resolve_hyper, resolve_method, resolve_schedule
+    from ..nn.models.mlp import MLP
+
+    dataset = make_blobs(n_samples=400, num_classes=4, dim=12, sep=2.5, noise=0.8, seed=1)
+    method = resolve_method(args.method)
+    hyper = resolve_hyper(Hyper(lr=0.1, momentum=0.7, ratio=0.1, min_sparse_size=0))
+    schedule = resolve_schedule(None, hyper)
+    return dataset, (lambda: MLP(12, (24,), 4, seed=7)), method, hyper, schedule
+
+
+def _parse_endpoint(text: str) -> "tuple[str, int]":
+    host, sep, port = text.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(f"expected HOST:PORT, got {text!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..comm.service import ServerService, serve_channels
+    from ..comm.socket import SocketListener
+    from ..core.layerops import parameters_of
+    from ..exec.common import build_server
+    from ..metrics.evaluation import evaluate_params
+    from .checkpoint import load_checkpoint, save_checkpoint
+    from .membership import WorkerDirectory
+
+    dataset, model_factory, method, hyper, schedule = _workload(args)
+    eval_model = model_factory()
+    server = build_server(
+        method, parameters_of(eval_model), args.workers, hyper, num_shards=args.shards
+    )
+    if args.restore:
+        header = load_checkpoint(server, args.restore)
+        print(f"restored t={header['shards'][0]['t']} from {args.restore}", file=sys.stderr)
+    membership = WorkerDirectory(server)
+
+    host, port = args.bind
+    listener = SocketListener(host, port, read_timeout_s=args.evict_after)
+    host, port = listener.address
+    print(
+        f"serving {method.name} on {host}:{port} — waiting for {args.workers} worker(s)",
+        file=sys.stderr,
+    )
+
+    def on_update(updates: int) -> None:
+        if args.checkpoint_every and updates % args.checkpoint_every == 0:
+            save_checkpoint(server, args.checkpoint)
+
+    try:
+        report = serve_channels(
+            [],
+            ServerService(server, membership=membership),
+            stats=server.stats,
+            on_update=on_update if args.checkpoint_every else None,
+            listener=listener,
+            expected_closes=args.workers,
+            straggler_timeout_s=args.evict_after,
+        )
+    finally:
+        listener.close()
+    if args.checkpoint_every:
+        save_checkpoint(server, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}", file=sys.stderr)
+
+    acc, loss = evaluate_params(
+        eval_model, server.global_model(), dataset.x_val, dataset.y_val
+    )
+    events = membership.snapshot()
+    print(
+        f"done: t={server.timestamp} accuracy={acc:.3f} loss={loss:.4f} "
+        f"joins={events['joins']} leaves={events['leaves']} "
+        f"crashes={events['crashes']} evictions={events['evictions']}"
+    )
+    for err in report.errors:
+        print(f"partial run: {err}", file=sys.stderr)
+    return 1 if report.errors else 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from ..comm.protocol import run_worker_loop
+    from ..comm.socket import SocketChannel
+    from ..data.loader import DataLoader
+    from ..exec.common import build_worker
+
+    dataset, model_factory, method, hyper, schedule = _workload(args)
+    loader = DataLoader(dataset, args.batch_size, seed=args.seed)
+    # theta0=None: the join handshake installs the live θ_t, exactly as a
+    # late joiner on any other host would receive it.
+    node = build_worker(
+        args.id,
+        args.workers,
+        model_factory(),
+        loader,
+        method,
+        hyper,
+        schedule,
+        theta0=None,
+    )
+    host, port = args.connect
+    channel = SocketChannel.connect(host, port, retry_for_s=args.retry_for)
+    print(f"worker {args.id} connected to {host}:{port}", file=sys.stderr)
+    run_worker_loop(node, channel, args.iterations, register=True)
+    print(
+        f"worker {args.id} done: {node.iteration} iterations, "
+        f"final loss {node.last_loss:.4f}"
+    )
+    return 0
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    """checkpoint → restore → continue over TCP loopback, asserted bitwise.
+
+    Dense ASGD (momentum 0: no worker-side strategy state, so the server
+    checkpoint is the *whole* training state) — the restored run must
+    reproduce the uninterrupted run's loss curve exactly, float for float.
+    """
+    from ..core.methods import Hyper
+    from ..data.synthetic import make_blobs
+    from ..nn.models.mlp import MLP
+    from .socket import SocketTrainer
+
+    dataset = make_blobs(n_samples=400, num_classes=4, dim=12, sep=2.5, noise=0.8, seed=1)
+
+    def run(iterations: int, **kwargs):
+        return SocketTrainer(
+            "asgd",
+            lambda: MLP(12, (24,), 4, seed=7),
+            dataset,
+            num_workers=1,
+            batch_size=16,
+            iterations_per_worker=iterations,
+            hyper=Hyper(lr=0.1, momentum=0.0),
+            seed=args.seed,
+            **kwargs,
+        ).run()
+
+    half = max(1, args.iterations // 2)
+    full = run(args.iterations)
+    first = run(half, checkpoint_every=half, checkpoint_path=args.checkpoint)
+    resumed = run(args.iterations - half, restore_from=args.checkpoint)
+
+    full_ys = list(full.loss_vs_step.ys)
+    failures = []
+    if list(first.loss_vs_step.ys) != full_ys[:half]:
+        failures.append("pre-checkpoint losses diverge from the uninterrupted run")
+    if list(resumed.loss_vs_step.ys) != full_ys[half:]:
+        failures.append("restored continuation diverges from the uninterrupted tail")
+    if resumed.final_loss != full.final_loss:
+        failures.append("final loss differs after restore")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(
+            f"socket checkpoint smoke ok: {half}+{args.iterations - half} iterations "
+            f"== {args.iterations} uninterrupted, bitwise"
+        )
+    return 1 if failures else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.ps", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def shared(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--method", default="dgs", help="method registry name (default dgs)")
+        p.add_argument("--workers", type=int, default=2, help="expected worker count")
+        p.add_argument("--iterations", type=int, default=50, help="iterations per worker")
+        p.add_argument("--batch-size", type=int, default=16)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_serve = sub.add_parser("serve", help="bind the parameter server and wait for workers")
+    shared(p_serve)
+    p_serve.add_argument(
+        "--bind",
+        type=_parse_endpoint,
+        default=("127.0.0.1", 5555),
+        metavar="HOST:PORT",
+        help="listener endpoint (default 127.0.0.1:5555; port 0 = ephemeral)",
+    )
+    p_serve.add_argument("--shards", type=int, default=1, help="parameter-server shards")
+    p_serve.add_argument(
+        "--evict-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="evict a worker silent for this long (default: wait forever)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="write a checkpoint every N applied updates (requires --checkpoint)",
+    )
+    p_serve.add_argument("--checkpoint", metavar="PATH", help="checkpoint file to write")
+    p_serve.add_argument("--restore", metavar="PATH", help="restore server state before serving")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_worker = sub.add_parser("worker", help="connect one worker and train")
+    shared(p_worker)
+    p_worker.add_argument(
+        "--connect",
+        type=_parse_endpoint,
+        default=("127.0.0.1", 5555),
+        metavar="HOST:PORT",
+        help="server endpoint (default 127.0.0.1:5555)",
+    )
+    p_worker.add_argument("--id", type=int, required=True, help="this worker's id (0-based)")
+    p_worker.add_argument(
+        "--retry-for",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="keep retrying the connect with backoff for this long (default 10)",
+    )
+    p_worker.set_defaults(fn=_cmd_worker)
+
+    p_smoke = sub.add_parser(
+        "smoke",
+        help="CI gate: checkpoint → restore → continue over TCP, bitwise",
+    )
+    p_smoke.add_argument("--iterations", type=int, default=20, help="uninterrupted run length")
+    p_smoke.add_argument("--seed", type=int, default=0)
+    p_smoke.add_argument(
+        "--checkpoint",
+        default=".socket-smoke.ckpt",
+        metavar="PATH",
+        help="where the mid-run checkpoint is written (default .socket-smoke.ckpt)",
+    )
+    p_smoke.set_defaults(fn=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "checkpoint_every", None) and not args.checkpoint:
+        parser.error("--checkpoint-every requires --checkpoint")
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,95 @@
+"""Elastic worker membership: the directory behind join/leave frames.
+
+:class:`WorkerDirectory` is the bookkeeping layer between the transport's
+control frames (:class:`~repro.comm.frames.ControlFrame`, dispatched by
+:meth:`~repro.comm.service.ServerService.control`) and the server's
+state transition (:meth:`~repro.ps.server.ParameterServer.
+bootstrap_worker` — ``v_k ← M_t``, ``prev(k) ← t`` under the per-shard
+lock).  It records who is active, why anyone left (clean leave, crash,
+straggler eviction), and the server timestamp each join landed at — the
+accounting a :class:`~repro.exec.result.TrainResult` and the tests for
+mid-run joins read back.
+
+Lock discipline: :attr:`_members_mu` guards only the directory's own
+bookkeeping and is **never held across a server call** — ``register``
+runs the server bootstrap (server/shard locks inside) *first* and only
+then takes the directory lock, so the two lock classes never nest and the
+LCK004 lock graph gains an isolated node.  The lock deliberately is not
+named ``_lock``: static discovery comes from this class's
+``LOCK_CLASS_REGISTRY`` entry (:mod:`repro.analysis.concurrency.registry`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .messages import ModelMessage
+    from .server import ParameterServer
+
+__all__ = ["WorkerDirectory"]
+
+
+class WorkerDirectory:
+    """Tracks which workers are registered with a (sharded) server."""
+
+    #: attributes ``self._members_mu`` protects — same contract as the
+    #: server's ``__guarded_attrs__`` (read by the static checker and the
+    #: dynamic race instrumentation).
+    __guarded_attrs__ = ("members", "events")
+
+    def __init__(self, server: "ParameterServer") -> None:
+        #: the (possibly sharded) server joins bootstrap against; its own
+        #: locks are acquired before — never inside — ``_members_mu``
+        self.server = server
+        #: worker id → "active" | departure reason ("left"/"crash"/"evicted")
+        self.members: "dict[int, str]" = {}
+        #: (worker_id, event, server_timestamp) in arrival order
+        self.events: "list[tuple[int, str, int]]" = []
+        self._members_mu = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register(self, worker_id: int) -> "ModelMessage":
+        """Admit ``worker_id``; returns the full-model join reply.
+
+        The server bootstrap (its own lock) runs first; the directory lock
+        is taken only afterwards, for bookkeeping — no nesting.
+        """
+        msg = self.server.bootstrap_worker(worker_id)
+        with self._members_mu:
+            self.members[worker_id] = "active"
+            self.events.append((worker_id, "join", msg.server_timestamp))
+        return msg
+
+    def deregister(self, worker_id: int, reason: "str | None" = None) -> None:
+        """Record a departure: a clean leave, or ``reason`` ∈ {"crash",
+        "evicted"} from the serve loop's failure paths."""
+        reason = reason or "left"
+        with self._members_mu:
+            self.members[worker_id] = reason
+            self.events.append((worker_id, reason, -1))
+
+    # ------------------------------------------------------------------
+    def active(self) -> "list[int]":
+        """Worker ids currently registered and not departed."""
+        with self._members_mu:
+            return sorted(w for w, state in self.members.items() if state == "active")
+
+    def snapshot(self) -> "dict[str, object]":
+        """Copy of the membership history for reports and tests."""
+        with self._members_mu:
+            return {
+                "members": dict(self.members),
+                "events": list(self.events),
+                "joins": sum(1 for _, e, _t in self.events if e == "join"),
+                "leaves": sum(1 for _, e, _t in self.events if e == "left"),
+                "crashes": sum(1 for _, e, _t in self.events if e == "crash"),
+                "evictions": sum(1 for _, e, _t in self.events if e == "evicted"),
+            }
+
+    # ------------------------------------------------------------------
+    def register_lock(self, registry, name: str = "ps.membership") -> None:
+        """Enroll the directory lock in a lock-order :class:`LockRegistry`
+        (see :mod:`repro.analysis.concurrency.runtime`)."""
+        registry.attach(self, name, lock_attr="_members_mu")

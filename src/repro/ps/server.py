@@ -255,6 +255,70 @@ class ParameterServer:
         return reply
 
     # ------------------------------------------------------------------
+    def bootstrap_worker(self, worker_id: int) -> ModelMessage:
+        """Admit a (possibly new) worker under the lock; reply with θ_t.
+
+        The elastic-join handshake: the tracker records ``v_k ← M_t`` /
+        ``prev(k) ← t`` (so the joiner's first staleness reads zero and
+        Eq. 5 holds from its first exchange), and the reply carries the
+        full dense model the worker installs before training.
+        """
+        with self._lock:
+            self.tracker.bootstrap_worker(worker_id)
+            model = self.tracker.global_model(self.theta0)
+            t = self.tracker.t
+            # v_k buffers may have grown; refresh the cached memory figure.
+            self.state_bytes = self.tracker.server_state_bytes() + sum(
+                a.nbytes for a in self.theta0.values()
+            )
+        return ModelMessage(worker_id, model, t, 0)
+
+    def worker_model(self, worker_id: int) -> "Mapping[str, np.ndarray]":
+        """Materialise the model worker ``k`` holds (θ_0 + v_k) — what a
+        restored trainer installs on that worker's replica."""
+        with self._lock:
+            return self.tracker.worker_model(self.theta0, worker_id)
+
+    def worker_update_counts(self) -> "dict[int, int]":
+        """Updates each worker has contributed (drives restore fast-forward)."""
+        with self._lock:
+            return {w: len(v) for w, v in self.worker_staleness.items()}
+
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> "dict[str, object]":
+        """Snapshot the full server state under one lock hold.
+
+        Buffers are copied out contiguous (``[M, v_0, …]``, see
+        :meth:`~repro.core.tracker.ModelDifferenceTracker.flat_state`) so
+        the caller can serialise outside the lock; ``updates`` carries the
+        per-worker handled-update counts a restoring trainer fast-forwards
+        its data streams by.
+        """
+        with self._lock:
+            return {
+                "t": self.tracker.t,
+                "prev": list(self.tracker.prev),
+                "num_workers": self.tracker.num_workers,
+                "updates": {w: len(v) for w, v in self.worker_staleness.items()},
+                "buffers": [buf.copy() for buf in self.tracker.flat_state()],
+            }
+
+    def restore_state(self, state: "Mapping[str, object]") -> None:
+        """Restore a :meth:`checkpoint_state` snapshot under the lock."""
+        with self._lock:
+            self.tracker.load_flat_state(state["buffers"])
+            self.tracker.t = int(state["t"])
+            self.tracker.prev = [int(x) for x in state["prev"]]
+            # model-mode checkpoints carry no v_k buffers, so growth comes
+            # from the prev list alone.
+            self.tracker.num_workers = max(
+                self.tracker.num_workers, len(self.tracker.prev)
+            )
+            self.state_bytes = self.tracker.server_state_bytes() + sum(
+                a.nbytes for a in self.theta0.values()
+            )
+
+    # ------------------------------------------------------------------
     def raw_staleness(self) -> "dict[int, list[int]]":
         """Snapshot the raw per-worker staleness lists (lock held only for
         the copy — aggregation happens in :func:`summarize_staleness`)."""
@@ -286,11 +350,13 @@ class ParameterServer:
     def server_state_bytes(self) -> int:
         """Server memory: M + all v_k (+ θ0 kept for evaluation).
 
-        Returns the value cached at construction — every buffer is
-        preallocated, so the size never changes and the report path takes
-        no lock (shard fan-in calls this N times per report).
+        Cached, but no longer constant: an elastic join
+        (:meth:`bootstrap_worker`) or a checkpoint restore grows the
+        ``v_k`` set, so the read takes the lock like any other guarded
+        state (it is a report path, not a hot path).
         """
-        return self.state_bytes
+        with self._lock:
+            return self.state_bytes
 
     # ------------------------------------------------------------------
     def register_lock(self, registry, name: str = "ps") -> None:

@@ -205,6 +205,44 @@ class ShardedParameterServer:
         return self.shards[shard_id].handle(msg)
 
     # ------------------------------------------------------------------
+    def bootstrap_worker(self, worker_id: int) -> ModelMessage:
+        """Admit a worker on every shard (locks taken one at a time, never
+        nested) and reassemble the full-model join reply."""
+        replies = [shard.bootstrap_worker(worker_id) for shard in self.shards]
+        payload = self.partition.merge([r.payload for r in replies])
+        t = max(r.server_timestamp for r in replies)
+        return ModelMessage(worker_id, payload, t, 0)
+
+    def worker_model(self, worker_id: int) -> "Mapping[str, np.ndarray]":
+        """θ_0 + v_k reassembled across shards, original layer order."""
+        return self.partition.merge(
+            [shard.worker_model(worker_id) for shard in self.shards]
+        )
+
+    def worker_update_counts(self) -> "dict[int, int]":
+        """Updates per worker — every shard sees every update, so shard
+        counts agree; report the max so in-flight fan-outs stay monotone."""
+        merged: "dict[int, int]" = {}
+        for shard in self.shards:
+            for worker, count in shard.worker_update_counts().items():
+                merged[worker] = max(merged.get(worker, 0), count)
+        return merged
+
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> "dict[str, object]":
+        """Per-shard snapshots, one lock hold each (sequential, unnested)."""
+        return {"shards": [shard.checkpoint_state() for shard in self.shards]}
+
+    def restore_state(self, state: "Mapping[str, object]") -> None:
+        shards_state = state["shards"]
+        if len(shards_state) != self.num_shards:
+            raise ValueError(
+                f"checkpoint has {len(shards_state)} shards, server has {self.num_shards}"
+            )
+        for shard, shard_state in zip(self.shards, shards_state):
+            shard.restore_state(shard_state)
+
+    # ------------------------------------------------------------------
     def raw_staleness(self) -> "dict[int, list[int]]":
         """Per-worker staleness observations merged across shards.
 

@@ -63,7 +63,13 @@ class ThreadedTrainer:
         wire_fidelity: bool = False,
         arena: bool = False,
         arena_dtype: "object | None" = None,
+        register: bool = False,
+        checkpoint_every: "int | None" = None,
+        checkpoint_path: "str | None" = None,
+        restore_from: "str | None" = None,
     ) -> None:
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every requires checkpoint_path")
         self.method = resolve_method(method)
         self.hyper = resolve_hyper(hyper)
         self.schedule = resolve_schedule(schedule, self.hyper)
@@ -104,14 +110,52 @@ class ThreadedTrainer:
         self.tracer = tracer
         #: round-trip every frame through the byte codec (float32 wire)
         self.wire_fidelity = wire_fidelity
+        #: run the elastic-membership join/leave handshake around each
+        #: worker loop (what the socket backend always does — enable it
+        #: here to compare the two backends under identical protocols)
+        self.register = register
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
+        self.restore_from = restore_from
+        self._updates_handled = 0
+
+        if restore_from is not None:
+            from ..core.layerops import assign_parameters
+            from .checkpoint import load_checkpoint
+
+            header = load_checkpoint(self.server, restore_from)
+            counts = {
+                int(w): int(c)
+                for w, c in header["shards"][0]["updates"].items()
+            }
+            for node in self.workers:
+                count = counts.get(node.worker_id, 0)
+                # Install the model this worker held at checkpoint time
+                # (θ_0 + v_k) and burn the batches it already consumed, so
+                # the continued run picks up the stream exactly where the
+                # original left off.
+                assign_parameters(node.model, self.server.worker_model(node.worker_id))
+                for _ in range(count):
+                    node.batches.next_batch()
+                node.iteration = count
 
     # ------------------------------------------------------------------
     def _record_loss(self, node: WorkerNode) -> None:
+        checkpoint_due = False
         with self._loss_lock:
             # Server timestamps are unique but arrive out of order across
             # threads; record against a local monotone index.
             step = len(self.loss_curve) + 1
             self.loss_curve.add(step, node.last_loss)
+            if self.checkpoint_every is not None:
+                self._updates_handled += 1
+                checkpoint_due = self._updates_handled % self.checkpoint_every == 0
+        if checkpoint_due:
+            # Outside the loss lock: the snapshot takes the server locks
+            # and the write is pure file I/O.
+            from .checkpoint import save_checkpoint
+
+            save_checkpoint(self.server, self.checkpoint_path)
 
     def _worker_loop(self, node: WorkerNode, channel) -> None:
         # Each OS thread emits into its own Tracer buffer (lock-free);
@@ -126,6 +170,7 @@ class ThreadedTrainer:
                 self.iterations_per_worker,
                 tracer=tracer,
                 on_step=self._record_loss,
+                register=self.register,
             )
         except BaseException as exc:  # surface worker crashes to the caller
             self._errors.append(exc)
@@ -158,6 +203,12 @@ class ThreadedTrainer:
         elapsed = time.perf_counter() - t_start
         if self._errors:
             raise RuntimeError(f"{len(self._errors)} worker(s) failed") from self._errors[0]
+        if self.checkpoint_every is not None:
+            # Final checkpoint so a restore continues from the very end,
+            # not the last cadence boundary.
+            from .checkpoint import save_checkpoint
+
+            save_checkpoint(self.server, self.checkpoint_path)
 
         # Borrow worker 0's replica for evaluation: its BatchNorm running
         # statistics reflect actual training data.

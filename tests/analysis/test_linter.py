@@ -69,11 +69,12 @@ class TestGoodFixture:
 class TestCommFixture:
     def test_exact_finding_counts(self):
         counts = Counter(f.rule for f in lint_fixture("bad_comm.py"))
-        assert counts == {"COM001": 5}
+        assert counts == {"COM001": 7}
 
     def test_messages_point_at_the_channel_layer(self):
         messages = [f.message for f in lint_fixture("bad_comm.py")]
         assert any("'struct'" in m for m in messages)
+        assert any("'socket'" in m and "SocketChannel" in m for m in messages)
         assert any("'multiprocessing.connection'" in m for m in messages)
         assert any("'encode_message'" in m and "Channel" in m for m in messages)
         assert any("'decode_message'" in m for m in messages)

@@ -1,0 +1,148 @@
+"""SocketChannel / SocketListener mechanics: connect retry, timeouts, EOF.
+
+The frame traffic itself is property-tested in
+``tests/properties/test_prop_socket_frames.py``; these tests pin the
+failure semantics the serve loop relies on — crash (EOF), wedge
+(ChannelTimeout), closed-channel errors — and the connect backoff that
+lets workers start before the server.
+"""
+
+from __future__ import annotations
+
+import socket as raw_socket
+import threading
+import time
+
+import pytest
+
+from repro.comm import ChannelClosed, CloseFrame
+from repro.comm.socket import (
+    ChannelTimeout,
+    SocketChannel,
+    SocketListener,
+)
+
+
+def _pair(**channel_kwargs):
+    listener = SocketListener()
+    host, port = listener.address
+    client = SocketChannel.connect(host, port, **channel_kwargs)
+    server = listener.accept()
+    return listener, client, server
+
+
+class TestConnectRetry:
+    def test_connect_succeeds_when_listener_appears_late(self):
+        """The two-terminal race: the worker dials before the server binds."""
+        probe = raw_socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()  # port is now free — first connects will be refused
+
+        result = {}
+
+        def dial():
+            result["channel"] = SocketChannel.connect(host, port, retry_for_s=5.0)
+
+        t = threading.Thread(target=dial)
+        t.start()
+        time.sleep(0.15)  # let at least one attempt fail
+        listener = SocketListener(host, port)
+        try:
+            server = listener.accept()
+            t.join(timeout=5)
+            assert "channel" in result
+            result["channel"].send(CloseFrame(worker_id=4))
+            assert server.recv() == CloseFrame(worker_id=4)
+            result["channel"].close()
+            server.close()
+        finally:
+            listener.close()
+
+    def test_connect_budget_exhaustion_raises_connection_error(self):
+        probe = raw_socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()
+        probe.close()
+        t0 = time.monotonic()
+        with pytest.raises(ConnectionError, match="attempt"):
+            SocketChannel.connect(host, port, retry_for_s=0.3, backoff_base_s=0.02)
+        # the budget bounds the total wait — no unbounded retry loop
+        assert time.monotonic() - t0 < 5.0
+
+
+class TestFailureSemantics:
+    def test_peer_vanishing_raises_eoferror(self):
+        """Crash semantics: a dropped connection is EOF, not a close frame."""
+        listener, client, server = _pair()
+        try:
+            client.close()
+            with pytest.raises(EOFError, match="no close frame"):
+                server.recv()
+        finally:
+            server.close()
+            listener.close()
+
+    def test_read_timeout_raises_channel_timeout(self):
+        listener = SocketListener(read_timeout_s=0.2)
+        host, port = listener.address
+        client = SocketChannel.connect(host, port)
+        server = listener.accept()
+        try:
+            assert server.read_timeout_s == 0.2  # listener propagates deadline
+            t0 = time.monotonic()
+            with pytest.raises(ChannelTimeout):
+                server.recv()
+            assert time.monotonic() - t0 < 5.0
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_channel_timeout_is_an_oserror(self):
+        # the serve loop's crash handling catches OSError; a wedged peer
+        # must resolve through the same path as a dead one
+        assert issubclass(ChannelTimeout, OSError)
+
+    def test_send_and_recv_after_close_raise_channel_closed(self):
+        listener, client, server = _pair()
+        listener.close()
+        server.close()
+        client.close()
+        with pytest.raises(ChannelClosed):
+            client.send(CloseFrame(worker_id=0))
+        with pytest.raises(ChannelClosed):
+            client.recv()
+
+    def test_close_is_idempotent(self):
+        listener, client, server = _pair()
+        for _ in range(2):
+            client.close()
+            server.close()
+            listener.close()
+
+
+class TestListener:
+    def test_ephemeral_bind_reports_real_port(self):
+        listener = SocketListener()
+        try:
+            host, port = listener.address
+            assert host == "127.0.0.1"
+            assert port > 0
+        finally:
+            listener.close()
+
+    def test_waitable_is_wait_compatible(self):
+        """multiprocessing.connection.wait accepts both ends + the listener."""
+        from multiprocessing.connection import wait
+
+        listener, client, server = _pair()
+        try:
+            assert wait([listener.waitable, server.waitable], timeout=0) == []
+            client.send(CloseFrame(worker_id=1))
+            ready = wait([listener.waitable, server.waitable], timeout=2)
+            assert server.waitable in ready
+        finally:
+            client.close()
+            server.close()
+            listener.close()

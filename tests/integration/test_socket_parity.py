@@ -1,0 +1,201 @@
+"""Socket-backend parity: the transport must not change the math.
+
+Dense ASGD in float64 is the substrate-independence probe the repo uses
+everywhere (no sparsification ties, no dtype rounding): any loss-curve
+divergence between transports is a transport bug, not noise.
+
+* 1 worker, free-running: no scheduling freedom, so SocketTrainer and
+  ThreadedTrainer (with ``wire_fidelity=True, register=True`` — the same
+  codec round-trips and the same join handshake) must agree bitwise.
+* 2 workers: free-running interleavings are nondeterministic, so the
+  2-worker pin drives both workers' channels *lockstep round-robin* from
+  the test over each transport — same frame order ⇒ the server state,
+  and every loss, must agree bitwise between TCP and in-proc dispatch.
+* checkpoint → restore → continue on the socket backend reproduces the
+  uninterrupted run's tail bitwise.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CONTROL_JOIN,
+    CONTROL_LEAVE,
+    CloseFrame,
+    ControlFrame,
+    GradientFrame,
+)
+from repro.comm.channel import InProcChannel, ServerService
+from repro.comm.service import serve_channels
+from repro.comm.socket import SocketChannel, SocketListener
+from repro.core.layerops import parameters_of
+from repro.core.methods import Hyper, get_method
+from repro.data.loader import DataLoader
+from repro.exec.common import build_server, build_worker
+from repro.ps.socket import SocketTrainer
+from repro.ps.threaded import ThreadedTrainer
+
+DENSE = Hyper(lr=0.1, momentum=0.0)
+
+
+def _socket_run(tiny_dataset, tiny_model_factory, iterations, **kwargs):
+    return SocketTrainer(
+        "asgd",
+        tiny_model_factory,
+        tiny_dataset,
+        num_workers=1,
+        batch_size=16,
+        iterations_per_worker=iterations,
+        hyper=DENSE,
+        seed=0,
+        **kwargs,
+    ).run()
+
+
+def test_one_worker_socket_bitwise_equal_to_threaded(tiny_dataset, tiny_model_factory):
+    s = _socket_run(tiny_dataset, tiny_model_factory, 25)
+    t = ThreadedTrainer(
+        "asgd",
+        tiny_model_factory,
+        tiny_dataset,
+        num_workers=1,
+        batch_size=16,
+        iterations_per_worker=25,
+        hyper=DENSE,
+        seed=0,
+        wire_fidelity=True,  # same codec float32 round-trip as the socket
+        register=True,  # same join handshake installing wire-rounded θ0
+    ).run()
+    assert list(s.loss_vs_step.ys) == list(t.loss_vs_step.ys)
+    assert s.final_loss == t.final_loss
+    assert s.final_accuracy == t.final_accuracy
+    assert s.total_iterations == t.total_iterations == 25
+
+
+class _Lockstep:
+    """Drive N workers' channels round-robin from one thread.
+
+    Removes the scheduling freedom that makes free-running multi-worker
+    runs nondeterministic: every transport sees the identical frame
+    sequence, so identical server math is a *bitwise* requirement.
+    """
+
+    def __init__(self, tiny_dataset, tiny_model_factory, num_workers):
+        self.num_workers = num_workers
+        self.loader = DataLoader(tiny_dataset, 16, seed=0)
+        self.nodes = [
+            build_worker(
+                w,
+                num_workers,
+                tiny_model_factory(),
+                self.loader,
+                get_method("asgd"),
+                DENSE,
+                None,
+                theta0=None,  # the join handshake installs θ0
+            )
+            for w in range(num_workers)
+        ]
+
+    def drive(self, channels, iterations):
+        losses = []
+        for ch, node in zip(channels, self.nodes):
+            ch.send(ControlFrame(node.worker_id, CONTROL_JOIN))
+            node.apply_reply(ch.recv().message)
+        for _ in range(iterations):
+            for ch, node in zip(channels, self.nodes):
+                msg = node.compute_step()
+                ch.send(GradientFrame(msg, node.last_loss))
+                node.apply_reply(ch.recv().message)
+                losses.append(node.last_loss)
+        for ch, node in zip(channels, self.nodes):
+            ch.send(ControlFrame(node.worker_id, CONTROL_LEAVE))
+            ch.send(
+                CloseFrame(
+                    worker_id=node.worker_id,
+                    samples_processed=node.samples_processed,
+                    worker_state_bytes=node.worker_state_bytes(),
+                )
+            )
+            ch.close()
+        return losses
+
+
+def _fresh_server(tiny_model_factory, num_workers):
+    return build_server(
+        get_method("asgd"), parameters_of(tiny_model_factory()), num_workers, DENSE
+    )
+
+
+def test_two_worker_lockstep_socket_bitwise_equal_to_inproc(
+    tiny_dataset, tiny_model_factory
+):
+    """2-worker dense-ASGD float64, identical frame order over TCP and
+    in-proc dispatch: losses and final server model agree bitwise."""
+    iterations = 12
+
+    # --- TCP loopback, served by the real serve loop in a thread
+    tcp_server = _fresh_server(tiny_model_factory, 2)
+    listener = SocketListener()
+    host, port = listener.address
+    report = {}
+
+    def serve():
+        report["r"] = serve_channels(
+            [],
+            ServerService(tcp_server),
+            stats=tcp_server.stats,
+            listener=listener,
+            expected_closes=2,
+        )
+
+    server_thread = threading.Thread(target=serve)
+    server_thread.start()
+    tcp_channels = [SocketChannel.connect(host, port) for _ in range(2)]
+    try:
+        tcp_losses = _Lockstep(tiny_dataset, tiny_model_factory, 2).drive(
+            tcp_channels, iterations
+        )
+    finally:
+        server_thread.join(timeout=30)
+        listener.close()
+    assert report["r"].errors == []
+    assert report["r"].joins == 2 and report["r"].leaves == 2
+
+    # --- in-proc dispatch with the wire codec round-trip
+    inproc_server = _fresh_server(tiny_model_factory, 2)
+    service = ServerService(inproc_server)
+    inproc_channels = [
+        InProcChannel(service, w, stats=inproc_server.stats, wire_fidelity=True)
+        for w in range(2)
+    ]
+    inproc_losses = _Lockstep(tiny_dataset, tiny_model_factory, 2).drive(
+        inproc_channels, iterations
+    )
+
+    assert tcp_losses == inproc_losses  # bitwise: float equality, no tolerance
+    assert tcp_server.timestamp == inproc_server.timestamp == 2 * iterations
+    tcp_model, inproc_model = tcp_server.global_model(), inproc_server.global_model()
+    for name in tcp_model:
+        np.testing.assert_array_equal(tcp_model[name], inproc_model[name])
+
+
+def test_socket_checkpoint_restore_continue_bitwise(
+    tmp_path, tiny_dataset, tiny_model_factory
+):
+    full = _socket_run(tiny_dataset, tiny_model_factory, 20)
+
+    path = tmp_path / "mid.ckpt"
+    first = _socket_run(
+        tiny_dataset, tiny_model_factory, 10, checkpoint_every=10, checkpoint_path=path
+    )
+    resumed = _socket_run(tiny_dataset, tiny_model_factory, 10, restore_from=path)
+
+    assert list(first.loss_vs_step.ys) == list(full.loss_vs_step.ys)[:10]
+    assert list(resumed.loss_vs_step.ys) == list(full.loss_vs_step.ys)[10:]
+    assert resumed.final_loss == full.final_loss
+    assert resumed.final_accuracy == full.final_accuracy
