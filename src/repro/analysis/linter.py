@@ -47,6 +47,9 @@ PERF_LOOP_PREFIXES = ("core/", "ps/", "exec/")
 #: the dict-of-float64 reference path — allowed to stay naive (PERF001)
 PERF_LOOP_ALLOWED = ("core/layerops.py",)
 
+#: subpackages where payload decodes inside a lock-held region are banned
+DECODE_LOCK_PREFIXES = ("ps/", "comm/")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -62,6 +65,7 @@ class LintConfig:
     telemetry_name_allowed: "tuple[str, ...]" = TELEMETRY_NAME_ALLOWED
     perf_loop_prefixes: "tuple[str, ...]" = PERF_LOOP_PREFIXES
     perf_loop_allowed: "tuple[str, ...]" = PERF_LOOP_ALLOWED
+    decode_lock_prefixes: "tuple[str, ...]" = DECODE_LOCK_PREFIXES
     #: basenames never linted for export rules (CLI entry points)
     entry_point_names: "tuple[str, ...]" = ("__main__.py",)
 
@@ -92,6 +96,9 @@ class ModuleInfo:
         return self.relpath.startswith(config.perf_loop_prefixes) and not self.relpath.startswith(
             config.perf_loop_allowed
         )
+
+    def in_decode_lock_scope(self, config: LintConfig) -> bool:
+        return self.relpath.startswith(config.decode_lock_prefixes)
 
     def is_entry_point(self, config: LintConfig) -> bool:
         return Path(self.relpath).name in config.entry_point_names

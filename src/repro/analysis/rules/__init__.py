@@ -11,7 +11,7 @@ from __future__ import annotations
 from ..linter import Rule
 from .comm import WireFramingRule
 from .dtype import MissingDtypeRule
-from .perf import PerLayerLoopRule
+from .perf import DecodeUnderLockRule, PerLayerLoopRule
 from .exports import AllConsistencyRule, MissingAllRule, UndefinedExportRule
 from .obs import TelemetryNameRule
 from .pragma import PragmaHygieneRule
@@ -34,6 +34,7 @@ RULE_CLASSES: "tuple[type[Rule], ...]" = (
     WireFramingRule,
     TelemetryNameRule,
     PerLayerLoopRule,
+    DecodeUnderLockRule,
     PragmaHygieneRule,
 )
 

@@ -17,6 +17,10 @@ The server side is one transport-agnostic loop —
 :class:`~repro.comm.service.ServerService` — with crash-to-partial-result
 semantics, telemetry absorption, elastic membership (join/leave control
 frames), and straggler eviction, identical under pipes and sockets.
+``serve_channels(..., shard_lanes=N)`` upgrades it to the parallel mode:
+per-shard executor lanes decode shard-addressed payloads outside every
+lock while the loop's own thread demuxes raw bytes by the frame header
+(see the "Parallel serve architecture" section of ``docs/comm.md``).
 
 The channel layer owns byte accounting and ``comm.send`` / ``comm.recv``
 obs spans, so ``TrainResult`` byte fields and traces mean the same thing
@@ -30,6 +34,12 @@ from .frames import (
     CONTROL_JOIN,
     CONTROL_LEAVE,
     FRAME_MAGIC,
+    KIND_CLOSE,
+    KIND_CONTROL,
+    KIND_DIFF,
+    KIND_GRADIENT,
+    KIND_MODEL,
+    KIND_TELEMETRY,
     CloseFrame,
     ControlFrame,
     DiffFrame,
@@ -39,6 +49,7 @@ from .frames import (
     TelemetryFrame,
     decode_frame,
     encode_frame,
+    peek_kind,
     peek_shard,
     reply_frame,
 )
@@ -46,7 +57,7 @@ from .pipe import PipeChannel, serve_pipe_channels
 from .protocol import run_worker_loop
 from .service import ServeReport, ServerService, serve_channels
 from .sim import SimChannel, SimTransfer, SimTransport
-from .socket import ChannelTimeout, SocketChannel, SocketListener
+from .socket import ChannelTimeout, ShardListenerGroup, SocketChannel, SocketListener
 
 __all__ = [
     "channel",
@@ -66,8 +77,15 @@ __all__ = [
     "ControlFrame",
     "CONTROL_JOIN",
     "CONTROL_LEAVE",
+    "KIND_GRADIENT",
+    "KIND_DIFF",
+    "KIND_MODEL",
+    "KIND_CLOSE",
+    "KIND_TELEMETRY",
+    "KIND_CONTROL",
     "encode_frame",
     "decode_frame",
+    "peek_kind",
     "peek_shard",
     "reply_frame",
     "Channel",
@@ -79,6 +97,7 @@ __all__ = [
     "ServeReport",
     "serve_pipe_channels",
     "serve_channels",
+    "ShardListenerGroup",
     "SocketChannel",
     "SocketListener",
     "SimChannel",

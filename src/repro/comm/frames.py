@@ -70,6 +70,12 @@ from ..ps.messages import DiffMessage, GradientMessage, ModelMessage
 
 __all__ = [
     "FRAME_MAGIC",
+    "KIND_GRADIENT",
+    "KIND_DIFF",
+    "KIND_MODEL",
+    "KIND_CLOSE",
+    "KIND_TELEMETRY",
+    "KIND_CONTROL",
     "Frame",
     "GradientFrame",
     "DiffFrame",
@@ -83,6 +89,7 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "peek_shard",
+    "peek_kind",
 ]
 
 FRAME_MAGIC = 0xDF  # one-byte frame magic ("Dual-way Frame")
@@ -93,12 +100,21 @@ _STALENESS = struct.Struct("<i")  # diff/model: the codec header has no slot for
 _CLOSE = struct.Struct("<iqq")  # worker_id, samples, state_bytes (-1 ⇒ not reported)
 _ERR_LEN = struct.Struct("<H")
 
-_KIND_GRADIENT = 0
-_KIND_DIFF = 1
-_KIND_MODEL = 2
-_KIND_CLOSE = 3
-_KIND_TELEMETRY = 4
-_KIND_CONTROL = 5
+#: wire kind bytes — public so routing transports can demux a raw frame
+#: (:func:`peek_kind`) without decoding the payload
+KIND_GRADIENT = 0
+KIND_DIFF = 1
+KIND_MODEL = 2
+KIND_CLOSE = 3
+KIND_TELEMETRY = 4
+KIND_CONTROL = 5
+
+_KIND_GRADIENT = KIND_GRADIENT
+_KIND_DIFF = KIND_DIFF
+_KIND_MODEL = KIND_MODEL
+_KIND_CLOSE = KIND_CLOSE
+_KIND_TELEMETRY = KIND_TELEMETRY
+_KIND_CONTROL = KIND_CONTROL
 
 _TELEMETRY = struct.Struct("<iI")  # worker_id, body length
 _CONTROL = struct.Struct("<iB")  # worker_id, op
@@ -261,6 +277,23 @@ def peek_shard(raw: "bytes | memoryview") -> int:
     if magic != FRAME_MAGIC:
         raise ValueError("bad magic: not a repro.comm frame")
     return shard
+
+
+def peek_kind(raw: "bytes | memoryview") -> int:
+    """Read the frame kind off the fixed header without decoding the payload.
+
+    Paired with :func:`peek_shard` by demuxing transports: a shard-addressed
+    ``KIND_GRADIENT`` frame can be queued to its shard lane still-encoded,
+    while control-plane kinds (close / control / telemetry) stay on the
+    demux thread.
+    """
+    buf = memoryview(raw)
+    if len(buf) < _HEADER.size:
+        raise ValueError("truncated frame (no header)")
+    magic, kind, _shard = _HEADER.unpack_from(buf, 0)
+    if magic != FRAME_MAGIC:
+        raise ValueError("bad magic: not a repro.comm frame")
+    return kind
 
 
 def encode_frame(frame: Frame) -> bytes:

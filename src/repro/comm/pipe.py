@@ -58,6 +58,23 @@ class PipeChannel:
             self.connection.send_bytes(raw)
         self.wire_bytes_sent += len(raw)
 
+    def send_raw(self, raw: bytes) -> None:
+        """Ship an already-encoded frame.
+
+        The parallel serve loop encodes replies on its shard-executor
+        lanes (outside any lock) and hands the bytes to one writer
+        thread; this entry point lets that thread skip re-encoding.
+        """
+        if self._closed:
+            raise ChannelClosed("pipe channel is closed")
+        tracer = self._tracer()
+        if tracer.enabled:
+            with tracer.span(obs_names.COMM_SEND, cat="comm", bytes=len(raw)):
+                self.connection.send_bytes(raw)
+        else:
+            self.connection.send_bytes(raw)
+        self.wire_bytes_sent += len(raw)
+
     def recv_raw(self) -> bytes:
         """One encoded frame off the pipe (the serve loop peeks the shard
         id off these bytes before decoding)."""
@@ -92,6 +109,7 @@ def serve_pipe_channels(
     service: ServerService,
     stats: "CompressionStats | None" = None,
     on_loss: "Callable[[float], None] | None" = None,
+    **kwargs: object,
 ) -> ServeReport:
     """Run the server side of the process backend until all workers close.
 
@@ -99,6 +117,8 @@ def serve_pipe_channels(
     :func:`~repro.comm.service.serve_channels` loop.  ``stats`` receives
     the analytic payload byte accounting (upload on every gradient frame,
     download on every reply); ``on_loss`` is called with each gradient
-    frame's training loss after the reply is shipped.
+    frame's training loss after the reply is shipped.  Extra keyword
+    arguments (``shard_lanes``, ``on_update``, …) pass straight through
+    to :func:`~repro.comm.service.serve_channels`.
     """
-    return serve_channels(channels, service, stats=stats, on_loss=on_loss)
+    return serve_channels(channels, service, stats=stats, on_loss=on_loss, **kwargs)

@@ -22,23 +22,43 @@ target shard off the fixed 4-byte header with
 :func:`~repro.comm.frames.peek_shard` *before* decoding the payload —
 the peeked id, not the decoded frame attribute, is the routing authority,
 exactly what the frame header exists for.
+
+**Parallel mode** (``shard_lanes=N``): the loop's own thread degrades to a
+pure demux — it never decodes a shard-addressed gradient payload.  Raw
+frame bytes are routed by the peeked header onto per-shard dispatch
+queues; N shard-executor lanes decode the payload *outside* any lock,
+dispatch through ``service`` (which takes only that shard's lock), encode
+the reply outside the lock too, and hand the bytes to a single
+reply-writer thread.  One writer serialises every ``send``, so a frame's
+bytes are never interleaved on a channel and no send ever happens under a
+lock (the lock graph stays exactly as serial mode leaves it).  The
+control plane — close, membership, telemetry, whole-server gradients, EOF
+crash detection, straggler eviction — stays on the demux thread with
+byte-identical serial semantics.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait
 from typing import TYPE_CHECKING, Callable
 
 from ..compression.stats import CompressionStats
+from ..obs import names as obs_names
+from ..obs.tracer import current_tracer
 from .frames import (
+    KIND_GRADIENT,
     CloseFrame,
     ControlFrame,
     Frame,
     GradientFrame,
     TelemetryFrame,
     decode_frame,
+    encode_frame,
+    peek_kind,
     peek_shard,
     reply_frame,
 )
@@ -145,6 +165,150 @@ def _recv_frame(channel) -> "tuple[Frame, int]":
     return frame, getattr(frame, "shard", -1)
 
 
+class _ShardLanes:
+    """Per-shard execution lanes + one reply writer behind a demux loop.
+
+    The demux thread calls :meth:`submit` with *raw* frame bytes and the
+    peeked shard id; nothing here runs on the demux thread again until
+    :meth:`shutdown`.  Division of labour, chosen so no thread ever sends
+    while holding a lock and no payload is ever decoded under one:
+
+    * **lane thread** (one per shard) — ``decode_frame`` outside any
+      lock, dispatch through the service (only that shard's lock is taken
+      inside ``handle_shard``), record byte accounting, ``encode_frame``
+      the reply outside the lock, enqueue the bytes for the writer;
+    * **writer thread** (exactly one) — ``send`` / ``send_raw`` per
+      reply.  A single writer means per-channel frame bytes are never
+      interleaved without any send mutex existing, and it is the only
+      thread that bumps the update accounting for lane traffic;
+    * **demux thread** — retains the entire control plane (close frames,
+      membership, telemetry, EOF crash detection, eviction), so lifecycle
+      accounting has exactly one owner and a reply the writer fails to
+      deliver is simply dropped (the demux will see the EOF).
+
+    Lane threads acquire shard locks through the service, so a lock-order
+    registry attached to the server (``ServerService.register_locks``)
+    records their acquisition stacks like any other thread's.
+
+    Exceptions raised on a lane or the writer are stored and re-raised on
+    the demux thread (:meth:`check`), preserving the serial loop's
+    propagation semantics.
+    """
+
+    def __init__(
+        self,
+        num_lanes: int,
+        service,
+        stats: "CompressionStats | None",
+        worker_ids: "dict[object, int]",
+        account: "Callable[[float, int], None]",
+    ) -> None:
+        self.service = service
+        self.stats = stats
+        self.worker_ids = worker_ids
+        self.account = account
+        self.full_service = isinstance(service, ServerService)
+        self.num_lanes = max(1, int(num_lanes))
+        self._queues: "list[queue.SimpleQueue]" = [
+            queue.SimpleQueue() for _ in range(self.num_lanes)
+        ]
+        self._replies: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._error: "BaseException | None" = None
+        self._down = False
+        self._threads = [
+            threading.Thread(target=self._lane, args=(i,), name=f"shard-lane-{i}", daemon=True)
+            for i in range(self.num_lanes)
+        ]
+        for t in self._threads:
+            t.start()
+        self._writer = threading.Thread(
+            target=self._write_replies, name="shard-reply-writer", daemon=True
+        )
+        self._writer.start()
+
+    # -- demux-thread surface ------------------------------------------
+    def submit(self, channel, raw: bytes, shard: int) -> None:
+        """Queue one still-encoded shard-addressed frame onto its lane."""
+        self._queues[shard % self.num_lanes].put((channel, raw, shard))
+
+    def check(self) -> None:
+        """Re-raise the first lane/writer exception on the demux thread."""
+        if self._error is not None:
+            exc, self._error = self._error, None
+            raise exc
+
+    def shutdown(self) -> None:
+        """Drain every lane, then the writer (sentinel + join, idempotent)."""
+        if self._down:
+            return
+        self._down = True
+        for q in self._queues:
+            q.put(None)
+        for t in self._threads:
+            t.join()
+        self._replies.put(None)
+        self._writer.join()
+
+    # -- lane threads ---------------------------------------------------
+    def _lane(self, idx: int) -> None:
+        q = self._queues[idx]
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            channel, raw, shard = item
+            try:
+                self._process(channel, raw, shard)
+            except BaseException as exc:
+                if self._error is None:
+                    self._error = exc
+
+    def _process(self, channel, raw: bytes, shard: int) -> None:
+        t_start = time.perf_counter()
+        frame = decode_frame(raw)  # payload decode: outside every lock
+        self.worker_ids[channel.waitable] = frame.worker_id
+        if self.stats is not None:
+            self.stats.record_upload(frame.nbytes(), frame.dense_nbytes())
+        # Only this shard's lock is taken inside; the reply comes back
+        # with every lock released.
+        reply = self.service(frame, shard=shard) if self.full_service else self.service(frame)
+        if self.stats is not None:
+            self.stats.record_download(reply.nbytes(), reply.dense_nbytes())
+        raw_reply = encode_frame(reply) if hasattr(channel, "send_raw") else None
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.add_span(
+                obs_names.SERVE_LANE,
+                t_start,
+                time.perf_counter(),
+                cat="server",
+                domain="wall",
+                args={"shard": shard, "worker": frame.worker_id},
+            )
+        self._replies.put((channel, reply, raw_reply, shard, frame.loss))
+
+    # -- writer thread --------------------------------------------------
+    def _write_replies(self) -> None:
+        from .channel import ChannelClosed  # runtime import: channel imports service
+
+        while True:
+            item = self._replies.get()
+            if item is None:
+                return
+            channel, reply, raw_reply, shard, loss = item
+            try:
+                if raw_reply is not None:
+                    channel.send_raw(raw_reply)
+                else:
+                    channel.send(reply)
+            except (ChannelClosed, BrokenPipeError, OSError):
+                # Crash detection (and its accounting) belongs to the
+                # demux thread, which will see the EOF on this channel;
+                # an undeliverable reply is dropped, never double-counted.
+                continue
+            self.account(loss, shard)
+
+
 def serve_channels(
     channels: "list",
     service: ServerService,
@@ -154,6 +318,7 @@ def serve_channels(
     listener: "object | None" = None,
     expected_closes: "int | None" = None,
     straggler_timeout_s: "float | None" = None,
+    shard_lanes: "int | None" = None,
 ) -> ServeReport:
     """Serve every channel until ``expected_closes`` workers terminate.
 
@@ -181,6 +346,14 @@ def serve_channels(
 
     ``expected_closes`` defaults to ``len(channels)``; pass the total
     worker count when a listener will deliver some of them later.
+
+    ``shard_lanes=N`` turns on parallel mode (module docstring): this
+    thread demuxes shard-addressed gradient frames — still encoded — onto
+    N per-shard lanes and keeps everything else.  Update accounting is
+    then counted on shard-0 sub-frames only, so ``report.updates`` (and
+    the ``on_loss`` / ``on_update`` cadence) means *worker steps* whether
+    a step arrives as one whole-server frame or as N shard sub-frames —
+    the same rule the serial loop applies to shard-addressed traffic.
     """
     report = ServeReport()
     # Duck-typed service: plain callables (tests, adapters) lack the
@@ -194,6 +367,30 @@ def serve_channels(
     terminated = 0
     poll = None if straggler_timeout_s is None else max(straggler_timeout_s / 4.0, 0.01)
 
+    # One update == one worker step.  A fanned-out step arrives as N
+    # shard sub-frames; its shard-0 sub-frame is the step's single
+    # accounting token (every step touches shard 0 exactly once).  The
+    # mutex makes the counter safe against the reply-writer thread in
+    # parallel mode; serial mode pays one uncontended acquire.
+    account_mu = threading.Lock()
+
+    def _account(loss: float, shard: int) -> None:
+        if shard > 0:
+            return
+        with account_mu:
+            report.updates += 1
+            count = report.updates
+        if on_loss is not None:
+            on_loss(loss)
+        if on_update is not None:
+            on_update(count)
+
+    lanes = (
+        _ShardLanes(shard_lanes, service, stats, worker_ids, _account)
+        if shard_lanes is not None
+        else None
+    )
+
     def _drop(waitable, channel) -> None:
         open_channels.pop(waitable, None)
         last_seen.pop(waitable, None)
@@ -202,7 +399,55 @@ def serve_channels(
         except OSError:
             pass
 
+    try:
+        terminated = _demux_loop(
+            report,
+            service,
+            stats,
+            _account,
+            listener,
+            straggler_timeout_s,
+            membership,
+            full_service,
+            open_channels,
+            worker_ids,
+            last_seen,
+            expected,
+            poll,
+            lanes,
+            _drop,
+        )
+    finally:
+        if lanes is not None:
+            lanes.shutdown()
+    if lanes is not None:
+        lanes.check()  # errors that surfaced while draining
+    return report
+
+
+def _demux_loop(
+    report: ServeReport,
+    service,
+    stats,
+    account: "Callable[[float, int], None]",
+    listener,
+    straggler_timeout_s,
+    membership,
+    full_service: bool,
+    open_channels: dict,
+    worker_ids: dict,
+    last_seen: dict,
+    expected: int,
+    poll: "float | None",
+    lanes: "_ShardLanes | None",
+    drop: "Callable[[object, object], None]",
+) -> int:
+    """The accept/route/reply multiplexing loop shared by both modes."""
+    terminated = 0
+    _drop = drop
     while terminated < expected:
+        if lanes is not None:
+            lanes.check()
         waitables = list(open_channels)
         if listener is not None:
             waitables.append(listener.waitable)
@@ -219,7 +464,24 @@ def serve_channels(
             channel = open_channels[obj]
             last_seen[obj] = now
             try:
-                frame, shard = _recv_frame(channel)
+                recv_raw = getattr(channel, "recv_raw", None)
+                if recv_raw is not None:
+                    raw = recv_raw()
+                    shard = peek_shard(raw)
+                    if (
+                        lanes is not None
+                        and shard >= 0
+                        and peek_kind(raw) == KIND_GRADIENT
+                    ):
+                        # Parallel fast path: route the still-encoded
+                        # frame to its shard lane; this thread never
+                        # touches the payload.
+                        lanes.submit(channel, raw, shard)
+                        continue
+                    frame = decode_frame(raw)
+                else:
+                    frame = channel.recv()
+                    shard = getattr(frame, "shard", -1)
             except (EOFError, OSError):
                 report.crashes += 1
                 who = worker_ids.get(obj)
@@ -285,11 +547,7 @@ def serve_channels(
                 _drop(obj, channel)
                 terminated += 1
                 continue
-            report.updates += 1
-            if on_loss is not None:
-                on_loss(frame.loss)
-            if on_update is not None:
-                on_update(report.updates)
+            account(frame.loss, shard)
         if straggler_timeout_s is not None:
             cutoff = time.monotonic() - straggler_timeout_s
             for obj in [w for w, seen in last_seen.items() if seen < cutoff]:
@@ -305,4 +563,4 @@ def serve_channels(
                     membership.deregister(who, reason="evicted")
                 _drop(obj, channel)
                 terminated += 1
-    return report
+    return terminated

@@ -115,6 +115,7 @@ class ProcessBackend(_BackendBase):
             tracer=config.tracer,
             arena=config.arena,
             arena_dtype=config.arena_dtype,
+            shard_parallel=config.shard_parallel,
         )
 
 
@@ -158,6 +159,7 @@ class SocketBackend(_BackendBase):
             tracer=config.tracer,
             arena=config.arena,
             arena_dtype=config.arena_dtype,
+            shard_parallel=config.shard_parallel,
         )
 
 

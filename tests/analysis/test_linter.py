@@ -175,6 +175,47 @@ class TestPerfFixture:
         assert not [f for f in findings if f.rule == "PERF001"]
 
 
+class TestDecodeLockFixture:
+    #: framing allowed so COM001 stays out of the way; decode-lock scope
+    #: widened to cover the fixture directory (defaults cover ps/, comm/)
+    DECODE_CONFIG = LintConfig(
+        hot_path_prefixes=("",), tensor_mutation_allowed=(),
+        framing_allowed=("",), decode_lock_prefixes=("",),
+    )
+
+    def lint(self, name: str):
+        return lint_file(
+            FIXTURES / name, default_rules(), config=self.DECODE_CONFIG, root=FIXTURES
+        )
+
+    def test_exact_finding_counts(self):
+        counts = Counter(f.rule for f in self.lint("bad_decode_lock.py"))
+        assert counts == {"PERF002": 4}
+
+    def test_messages_name_the_decoder(self):
+        messages = [f.message for f in self.lint("bad_decode_lock.py")]
+        assert any("'decode_frame(...)'" in m for m in messages)
+        assert any("'decode_message(...)'" in m for m in messages)
+        assert all("lock" in m for m in messages)
+
+    def test_decode_outside_the_lock_is_clean(self):
+        # the fixture's `clean` method decodes before acquiring — the rule
+        # must anchor every finding to a line inside a with-lock body
+        source = (FIXTURES / "bad_decode_lock.py").read_text().splitlines()
+        for f in self.lint("bad_decode_lock.py"):
+            assert "# PERF002" in source[f.line - 1]
+
+    def test_silent_outside_scoped_packages(self):
+        # default scoping: only ps/ and comm/ are checked
+        cold = LintConfig(
+            hot_path_prefixes=("",), tensor_mutation_allowed=(), framing_allowed=("",)
+        )
+        findings = lint_file(
+            FIXTURES / "bad_decode_lock.py", default_rules(), config=cold, root=FIXTURES
+        )
+        assert not [f for f in findings if f.rule == "PERF002"]
+
+
 class TestSuppressionSyntax:
     def test_bare_noqa_suppresses_all(self):
         assert suppressed_rules("x = 1  # repro: noqa") == set()
@@ -214,6 +255,7 @@ def test_rule_index_is_complete():
         "COM001",
         "OBS001",
         "PERF001",
+        "PERF002",
         "NOQ001",
     }
     for rule_id, cls in idx.items():

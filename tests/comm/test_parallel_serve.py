@@ -1,0 +1,372 @@
+"""Parallel serve loop (``shard_lanes``): parity, ordering, isolation.
+
+The contract under test: ``serve_channels(..., shard_lanes=N)`` is an
+*execution strategy*, not an algorithm change.  A deterministic worker
+choreography — lock-step request/reply so the server-side apply order is
+fixed — must produce bitwise-identical global models whether the loop
+runs serial (demux thread decodes and dispatches everything) or parallel
+(demux routes raw bytes to per-shard lanes that decode outside every
+lock).  The stress test interleaves the whole control plane — joins,
+leaves, telemetry, a mid-run join, a crash during the burst — through
+the demux thread while gradient sub-frames flow through the lanes, and
+then audits the :class:`~repro.ps.membership.WorkerDirectory` trail.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    CONTROL_JOIN,
+    CONTROL_LEAVE,
+    CloseFrame,
+    ControlFrame,
+    GradientFrame,
+    ModelFrame,
+    TelemetryFrame,
+    serve_channels,
+)
+from repro.comm.service import ServerService
+from repro.comm.socket import SocketChannel, SocketListener
+from repro.core.layerops import parameters_of
+from repro.core.methods import Hyper, get_method
+from repro.exec.common import build_server
+from repro.nn import MLP
+from repro.ps.membership import WorkerDirectory
+from repro.ps.messages import GradientMessage
+
+NUM_SHARDS = 4  # MLP(6, (8,), 3) has exactly 4 tensors -> 4 non-empty shards
+
+
+def _make_sharded_service(num_workers: int, arena: bool = False):
+    model = MLP(6, (8,), 3, seed=2)
+    server = build_server(
+        get_method("asgd"),
+        parameters_of(model),
+        num_workers,
+        Hyper(lr=0.1, momentum=0.0),
+        num_shards=NUM_SHARDS,
+        arena=arena,
+    )
+    membership = WorkerDirectory(server)
+    return ServerService(server, membership=membership), server, membership
+
+
+def _payload_for(server, worker_id: int, round_no: int):
+    """Deterministic dense gradient, unique per (worker, round)."""
+    scale = 0.01 * (worker_id + 1) + 0.001 * (round_no + 1)
+    return {
+        name: np.full_like(np.asarray(buf), scale, dtype=np.float64)
+        for name, buf in server.global_model().items()
+    }
+
+
+def _fanout_step(channel, server, worker_id: int, round_no: int):
+    """One lock-step sharded exchange: send every sub-frame, await every
+    reply (keyed by the reply's shard stamp), return the merged payload."""
+    parts = server.partition.split(_payload_for(server, worker_id, round_no))
+    for s, part in enumerate(parts):
+        channel.send(
+            GradientFrame(GradientMessage(worker_id, part, round_no), loss=0.5, shard=s)
+        )
+    replies = [None] * len(parts)
+    for _ in parts:
+        reply = channel.recv()
+        assert reply.shard >= 0, "lane replies must carry their shard stamp"
+        assert replies[reply.shard] is None, "duplicate reply for one shard"
+        replies[reply.shard] = reply
+    return server.partition.merge([r.message.payload for r in replies])
+
+
+def _serve(service, server, listener, expected_closes, **kwargs):
+    return serve_channels(
+        [],
+        service,
+        stats=server.stats,
+        listener=listener,
+        expected_closes=expected_closes,
+        **kwargs,
+    )
+
+
+def _run_driver(target, serve_fn):
+    """Run ``target`` on a worker thread while ``serve_fn`` blocks; re-raise
+    any driver-side failure so asserts in the thread actually fail the test."""
+    failures: "list[BaseException]" = []
+
+    def wrapped():
+        try:
+            target()
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    t = threading.Thread(target=wrapped)
+    t.start()
+    try:
+        report = serve_fn()
+    finally:
+        t.join(timeout=30)
+    assert not t.is_alive(), "driver thread wedged"
+    if failures:
+        raise failures[0]
+    return report
+
+
+class TestLaneParity:
+    """Minimal fan-out choreography, serial vs parallel, bitwise."""
+
+    def _run(self, shard_lanes):
+        service, server, _ = _make_sharded_service(num_workers=1)
+        listener = SocketListener()
+        host, port = listener.address
+
+        def driver():
+            ch = SocketChannel.connect(host, port)
+            for r in range(6):
+                merged = _fanout_step(ch, server, 0, r)
+                assert set(merged) == set(server.global_model())
+            ch.send(CloseFrame(worker_id=0))
+            ch.close()
+
+        try:
+            report = _run_driver(
+                driver,
+                lambda: _serve(service, server, listener, 1, shard_lanes=shard_lanes),
+            )
+        finally:
+            listener.close()
+        return server, report
+
+    def test_parallel_matches_serial_bitwise(self):
+        server_a, report_a = self._run(shard_lanes=None)
+        server_b, report_b = self._run(shard_lanes=NUM_SHARDS)
+        a, b = server_a.global_model(), server_b.global_model()
+        assert list(a) == list(b)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+        assert server_a.timestamp == server_b.timestamp
+
+    def test_updates_count_steps_not_subframes(self):
+        # 6 steps x NUM_SHARDS sub-frames; `updates` is worker steps in
+        # both modes (the shard-0 sub-frame is the step's token)
+        _, report_serial = self._run(shard_lanes=None)
+        _, report_parallel = self._run(shard_lanes=NUM_SHARDS)
+        assert report_serial.updates == 6
+        assert report_parallel.updates == 6
+
+    def test_same_shard_replies_stay_fifo(self):
+        """Pipelined frames to one shard come back in send order: one lane
+        per shard is a FIFO, and the single writer preserves it."""
+        service, server, _ = _make_sharded_service(num_workers=1)
+        listener = SocketListener()
+        host, port = listener.address
+        timestamps: "list[int]" = []
+
+        def driver():
+            ch = SocketChannel.connect(host, port)
+            layers = server.partition.layers(0)
+            shapes = {k: v.shape for k, v in server.global_model().items()}
+            for r in range(5):  # pipeline: all sends, then all recvs
+                part = {k: np.full(shapes[k], 0.01 * (r + 1)) for k in layers}
+                ch.send(
+                    GradientFrame(GradientMessage(0, part, r), loss=0.1, shard=0)
+                )
+            for _ in range(5):
+                reply = ch.recv()
+                assert reply.shard == 0
+                timestamps.append(reply.message.server_timestamp)
+            ch.send(CloseFrame(worker_id=0))
+            ch.close()
+
+        try:
+            _run_driver(
+                driver,
+                lambda: _serve(service, server, listener, 1, shard_lanes=NUM_SHARDS),
+            )
+        finally:
+            listener.close()
+        assert timestamps == sorted(timestamps)
+        assert len(set(timestamps)) == 5
+
+
+class TestConcurrentIngressStress:
+    """M channels x N shards with the full control plane interleaved."""
+
+    ROUNDS = 6
+    BASE_WORKERS = 4  # workers 0..3 join up front; worker 4 joins mid-run
+
+    def _run(self, shard_lanes):
+        service, server, membership = _make_sharded_service(num_workers=5)
+        listener = SocketListener()
+        host, port = listener.address
+
+        def driver():
+            channels: "dict[int, SocketChannel]" = {}
+
+            def join(worker_id: int):
+                ch = SocketChannel.connect(host, port)
+                ch.send(ControlFrame(worker_id, CONTROL_JOIN))
+                reply = ch.recv()
+                assert isinstance(reply, ModelFrame)
+                channels[worker_id] = ch
+
+            for w in range(self.BASE_WORKERS):
+                join(w)
+            for r in range(self.ROUNDS):
+                if r == 2:
+                    join(4)  # mid-run join, against a moved M_t
+                for w in sorted(channels):
+                    if w == 2 and r == 4:
+                        # crash during the burst: vanish at a step
+                        # boundary, no leave, no close frame
+                        channels.pop(w).close()
+                        continue
+                    _fanout_step(channels[w], server, w, r)
+            # telemetry interleaved with the shutdown traffic
+            channels[0].send(
+                TelemetryFrame(
+                    worker_id=0,
+                    spans=({"type": "span", "name": "worker.step", "ts": 0.0, "dur": 1.0},),
+                )
+            )
+            for w in sorted(channels):
+                ch = channels[w]
+                ch.send(ControlFrame(w, CONTROL_LEAVE))
+                ch.send(CloseFrame(worker_id=w, samples_processed=10))
+                ch.close()
+
+        try:
+            report = _run_driver(
+                driver,
+                lambda: _serve(service, server, listener, 5, shard_lanes=shard_lanes),
+            )
+        finally:
+            listener.close()
+        return server, membership, report
+
+    # workers 0,1,3: 6 rounds; worker 2: rounds 0-3; worker 4: rounds 2-5
+    EXPECTED_UPDATES = 3 * 6 + 4 + 4
+
+    def test_parallel_matches_serial_bitwise(self):
+        server_a, _, report_a = self._run(shard_lanes=None)
+        server_b, _, report_b = self._run(shard_lanes=NUM_SHARDS)
+        a, b = server_a.global_model(), server_b.global_model()
+        assert list(a) == list(b)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+        assert report_a.updates == report_b.updates == self.EXPECTED_UPDATES
+        assert server_a.timestamp == server_b.timestamp
+
+    @pytest.mark.parametrize("shard_lanes", [None, NUM_SHARDS])
+    def test_membership_audit_trail(self, shard_lanes):
+        _, membership, report = self._run(shard_lanes)
+        assert membership.members == {
+            0: "left",
+            1: "left",
+            2: "crash",
+            3: "left",
+            4: "left",
+        }
+        snap = membership.snapshot()
+        assert snap["joins"] == 5
+        assert snap["leaves"] == 4
+        assert snap["crashes"] == 1
+        assert snap["evictions"] == 0
+        assert (report.joins, report.leaves) == (5, 4)
+        assert report.clean_closes == 4 and report.crashes == 1
+        assert any("without a close frame" in e for e in report.errors)
+        assert 0 in report.telemetry
+        assert report.samples_processed == 4 * 10
+
+
+class TestLaneWorkspaceIsolation:
+    """Zero-copy lane plumbing: per-shard scratch, no aliasing across lanes."""
+
+    def test_each_shard_owns_a_distinct_workspace(self):
+        _, server, _ = _make_sharded_service(num_workers=1, arena=True)
+        workspaces = [shard.tracker.workspace for shard in server.shards]
+        assert all(ws is not None for ws in workspaces)
+        assert len({id(ws) for ws in workspaces}) == len(workspaces)
+
+    def test_shard_arena_views_never_alias(self):
+        _, server, _ = _make_sharded_service(num_workers=1, arena=True)
+        shard_layers = [
+            [np.asarray(shard.theta0[name]) for name in shard.tracker.shapes]
+            for shard in server.shards
+        ]
+        for i in range(len(shard_layers)):
+            for j in range(i + 1, len(shard_layers)):
+                for a in shard_layers[i]:
+                    for b in shard_layers[j]:
+                        assert not np.shares_memory(a, b)
+
+    def test_subframe_bytes_sum_to_whole_frame_bytes(self):
+        """Fan-out adds headers, never payload: per-shard sub-frame payload
+        bytes sum exactly to the whole-model payload bytes."""
+        _, server, _ = _make_sharded_service(num_workers=1)
+        payload = _payload_for(server, 0, 0)
+        parts = server.partition.split(payload)
+        whole = GradientMessage(0, payload, 0)
+        subs = [GradientMessage(0, part, 0) for part in parts]
+        assert sum(m.nbytes() for m in subs) == whole.nbytes()
+
+
+class TestTrainerParity:
+    """dict/arena x pipe/socket x serial/parallel: one result, bitwise."""
+
+    ITERS = 8
+
+    def _result(self, trainer_cls, tiny_dataset, tiny_model_factory, **kwargs):
+        defaults = dict(
+            num_workers=1,
+            batch_size=16,
+            iterations_per_worker=self.ITERS,
+            hyper=Hyper(lr=0.1, momentum=0.7, ratio=0.1, min_sparse_size=0),
+            seed=0,
+        )
+        defaults.update(kwargs)
+        return trainer_cls("dgs", tiny_model_factory, tiny_dataset, **defaults).run()
+
+    @pytest.mark.parametrize("arena", [False, True], ids=["dict", "arena"])
+    @pytest.mark.parametrize("transport", ["pipe", "socket"])
+    def test_parallel_matches_serial(
+        self, tiny_dataset, tiny_model_factory, transport, arena
+    ):
+        from repro.ps.process import ProcessTrainer
+        from repro.ps.socket import SocketTrainer
+
+        trainer_cls = ProcessTrainer if transport == "pipe" else SocketTrainer
+        serial = self._result(
+            trainer_cls, tiny_dataset, tiny_model_factory,
+            num_shards=NUM_SHARDS, arena=arena,
+        )
+        parallel = self._result(
+            trainer_cls, tiny_dataset, tiny_model_factory,
+            num_shards=NUM_SHARDS, arena=arena, shard_parallel=True,
+        )
+        assert parallel.errors == serial.errors == []
+        assert parallel.final_loss == serial.final_loss
+        assert parallel.final_accuracy == serial.final_accuracy
+        assert parallel.loss_vs_step.ys == serial.loss_vs_step.ys
+        assert parallel.upload_bytes == serial.upload_bytes
+        assert parallel.total_iterations == serial.total_iterations == self.ITERS
+
+    def test_sharded_parallel_matches_single_shard(
+        self, tiny_dataset, tiny_model_factory
+    ):
+        """The single/sharded axis: one-lock serving and parallel sharded
+        serving are the same algorithm on a deterministic schedule."""
+        from repro.ps.process import ProcessTrainer
+
+        single = self._result(
+            ProcessTrainer, tiny_dataset, tiny_model_factory, num_shards=1
+        )
+        parallel = self._result(
+            ProcessTrainer, tiny_dataset, tiny_model_factory,
+            num_shards=NUM_SHARDS, shard_parallel=True,
+        )
+        assert parallel.final_loss == single.final_loss
+        assert parallel.loss_vs_step.ys == single.loss_vs_step.ys
